@@ -1,0 +1,94 @@
+// Command figures regenerates every table and figure of the paper in one
+// run and writes the artefacts (CSV + rendered text) into a results
+// directory. This is the one-shot "reproduce the evaluation" entry point;
+// see EXPERIMENTS.md for the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"periscope"
+)
+
+func main() {
+	outDir := flag.String("out", "results", "output directory")
+	scale := flag.Float64("scale", 1.0, "session/corpus scale factor (0.1 = quick pass)")
+	seed := flag.Int64("seed", 1, "global seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	var index strings.Builder
+	start := time.Now()
+
+	save := func(name, content string) {
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(&index, "  %s\n", path)
+	}
+
+	// Table 1.
+	save("table1.txt", periscope.APITable().Render())
+
+	// Figures 1-2: usage patterns.
+	ucfg := periscope.DefaultUsageStudyConfig()
+	ucfg.Concurrent = int(2000 * *scale)
+	ucfg.Seed = *seed
+	usage, err := periscope.RunUsageStudy(ucfg)
+	if err != nil {
+		log.Fatalf("usage study: %v", err)
+	}
+	for _, f := range []periscope.Figure{usage.Figure1a, usage.Figure1b, usage.Figure2a, usage.Figure2b} {
+		save(fileName(f.ID)+".csv", f.CSV())
+		save(fileName(f.ID)+".txt", f.ASCII())
+	}
+
+	// Figures 3-5: QoE.
+	qcfg := periscope.DefaultQoEStudyConfig()
+	qcfg.UnlimitedSessions = int(3382 * *scale)
+	qcfg.SessionsPerLimit = int(60 * *scale)
+	if qcfg.SessionsPerLimit < 5 {
+		qcfg.SessionsPerLimit = 5
+	}
+	qcfg.PopTarget = int(2000 * *scale)
+	qcfg.Seed = *seed
+	qoe := periscope.RunQoEStudy(qcfg)
+	for _, f := range []periscope.Figure{qoe.Figure3a, qoe.Figure3b, qoe.Figure4a, qoe.Figure4b, qoe.Figure5} {
+		save(fileName(f.ID)+".csv", f.CSV())
+		save(fileName(f.ID)+".txt", f.ASCII())
+	}
+
+	// Figure 6 + §5.2: media quality.
+	mcfg := periscope.DefaultMediaStudyConfig()
+	mcfg.Videos = int(150 * *scale)
+	if mcfg.Videos < 10 {
+		mcfg.Videos = 10
+	}
+	mcfg.Seed = *seed
+	media := periscope.RunMediaStudy(mcfg)
+	save(fileName(media.Figure6a.ID)+".csv", media.Figure6a.CSV())
+	save(fileName(media.Figure6a.ID)+".txt", media.Figure6a.ASCII())
+	save(fileName(media.Figure6b.ID)+".csv", media.Figure6b.CSV())
+	save(fileName(media.Figure6b.ID)+".txt", media.Figure6b.ASCII())
+	save("section52.txt", media.Stats.Render())
+
+	// Figure 7: power.
+	save("figure7.txt", periscope.RunPowerStudy().Render())
+
+	fmt.Printf("regenerated all artefacts in %v:\n%s", time.Since(start).Round(time.Millisecond), index.String())
+}
+
+func fileName(id string) string {
+	s := strings.ToLower(id)
+	s = strings.NewReplacer(" ", "", "(", "", ")", "", ".", "").Replace(s)
+	return s
+}

@@ -1,0 +1,43 @@
+// Command periscoped runs the full Periscope-like service on loopback —
+// API, regional RTMP ingest fleet, CDN POPs and chat — and prints the
+// endpoints. Point the other tools (or your own RTMP/HLS client) at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"periscope"
+)
+
+func main() {
+	concurrent := flag.Int("broadcasts", 300, "steady-state number of live broadcasts")
+	threshold := flag.Int("hls-threshold", 100, "viewer count beyond which HLS is used")
+	flag.Parse()
+
+	cfg := periscope.DefaultTestbedConfig()
+	cfg.PopConfig.TargetConcurrent = *concurrent
+	cfg.HLSViewerThreshold = *threshold
+	tb, err := periscope.StartTestbed(cfg)
+	if err != nil {
+		log.Fatalf("starting service: %v", err)
+	}
+	defer tb.Close()
+
+	fmt.Printf("periscoped running with ~%d live broadcasts\n", *concurrent)
+	fmt.Printf("  API:  %s  (POST /api/v2/{mapGeoBroadcastFeed,getBroadcasts,playbackMeta,accessVideo,teleport})\n", tb.APIBaseURL())
+	fmt.Printf("  Chat: %s  (WebSocket /chat/<broadcastID>, avatars at /avatars/)\n", tb.ChatBaseURL())
+	fmt.Println("  RTMP ingest fleet (region-nearest to the broadcaster):")
+	for name, rev := range tb.RTMPServerNames() {
+		fmt.Printf("    %-34s %s\n", name, rev)
+	}
+	fmt.Println("\nCtrl-C to stop.")
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("\nshutting down")
+}

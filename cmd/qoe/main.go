@@ -1,0 +1,71 @@
+// Command qoe reproduces the §5.1 QoE study (Figures 3, 4 and 5): the
+// automated 60-second Teleport sessions with and without tc-style
+// bandwidth limits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"periscope"
+)
+
+func main() {
+	unlimited := flag.Int("unlimited", 3382, "sessions without a bandwidth limit (paper: 3382)")
+	perLimit := flag.Int("per-limit", 60, "sessions per bandwidth limit (paper: 18-91)")
+	popTarget := flag.Int("broadcasts", 2000, "steady-state live broadcasts")
+	outDir := flag.String("out", "results", "output directory for CSV files")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	cfg := periscope.DefaultQoEStudyConfig()
+	cfg.UnlimitedSessions = *unlimited
+	cfg.SessionsPerLimit = *perLimit
+	cfg.PopTarget = *popTarget
+	cfg.Seed = *seed
+
+	start := time.Now()
+	res := periscope.RunQoEStudy(cfg)
+	fmt.Printf("%d sessions simulated in %v\n", len(res.Records), time.Since(start).Round(time.Millisecond))
+
+	rtmp, hls := 0, 0
+	for _, r := range res.Records {
+		if r.BandwidthMbps == 0 {
+			if r.Protocol == "RTMP" {
+				rtmp++
+			} else {
+				hls++
+			}
+		}
+	}
+	fmt.Printf("unlimited: %d RTMP / %d HLS (paper: 1796 / 1586)\n\n", rtmp, hls)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range []periscope.Figure{res.Figure3a, res.Figure3b, res.Figure4a, res.Figure4b, res.Figure5} {
+		path := filepath.Join(*outDir, sanitize(f.ID)+".csv")
+		if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f.ASCII())
+	}
+	fmt.Printf("CSV data written to %s/\n", *outDir)
+}
+
+func sanitize(id string) string {
+	out := make([]rune, 0, len(id))
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,41 @@
+package periscope_test
+
+import (
+	"fmt"
+	"time"
+
+	"periscope"
+)
+
+// ExampleRunPowerStudy regenerates the Fig. 7 power table.
+func ExampleRunPowerStudy() {
+	tbl := periscope.RunPowerStudy()
+	fmt.Println(tbl.ID)
+	// Output: Figure 7
+}
+
+// ExampleAPITable prints the Table 1 commands.
+func ExampleAPITable() {
+	tbl := periscope.APITable()
+	for _, row := range tbl.Rows {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// mapGeoBroadcastFeed
+	// getBroadcasts
+	// playbackMeta
+}
+
+// ExampleRunQoEStudy runs a miniature QoE campaign and reports the dataset
+// shape.
+func ExampleRunQoEStudy() {
+	cfg := periscope.DefaultQoEStudyConfig()
+	cfg.UnlimitedSessions = 50
+	cfg.LimitsMbps = []float64{2}
+	cfg.SessionsPerLimit = 10
+	cfg.PopTarget = 300
+	cfg.SessionDur = 60 * time.Second
+	res := periscope.RunQoEStudy(cfg)
+	fmt.Println(len(res.Records) == 60)
+	// Output: true
+}

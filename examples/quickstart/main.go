@@ -1,0 +1,52 @@
+// Quickstart: launch the Periscope-like testbed on loopback, watch one
+// live broadcast over real RTMP for a few seconds (the app's Teleport
+// flow: API → accessVideo → play), and print the QoE metrics the app
+// would report via playbackMeta.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"periscope"
+)
+
+func main() {
+	cfg := periscope.DefaultTestbedConfig()
+	cfg.PopConfig.TargetConcurrent = 80
+	tb, err := periscope.StartTestbed(cfg)
+	if err != nil {
+		log.Fatalf("starting testbed: %v", err)
+	}
+	defer tb.Close()
+
+	fmt.Println("Periscope-like service running:")
+	fmt.Printf("  API:  %s\n", tb.APIBaseURL())
+	fmt.Printf("  Chat: %s\n", tb.ChatBaseURL())
+	fmt.Println("  RTMP ingest fleet:")
+	for name, rev := range tb.RTMPServerNames() {
+		fmt.Printf("    %-34s -> %s\n", name, rev)
+	}
+
+	fmt.Println("\nTeleporting to a random broadcast and watching for 5 s...")
+	rec, err := periscope.WatchBroadcast(periscope.WireSession{
+		APIBaseURL: tb.APIBaseURL(),
+		Session:    "quickstart",
+		WatchFor:   5 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("viewing session: %v", err)
+	}
+
+	m := rec.Metrics
+	fmt.Printf("\nSession report (broadcast %s, %s, %d viewers):\n",
+		rec.BroadcastID, rec.Protocol, rec.Viewers)
+	fmt.Printf("  join time:        %v\n", m.JoinTime.Round(time.Millisecond))
+	fmt.Printf("  play time:        %v\n", m.PlayTime.Round(time.Millisecond))
+	fmt.Printf("  stalls:           %d (%.3f stall ratio)\n", m.StallCount, m.StallRatio)
+	fmt.Printf("  playback latency: %v\n", m.PlaybackLatency.Round(time.Millisecond))
+	fmt.Printf("  delivery latency: %v (from embedded NTP timestamps)\n",
+		m.DeliveryLatency.Round(time.Millisecond))
+	fmt.Printf("  media chunks:     %d\n", m.Delivered)
+}

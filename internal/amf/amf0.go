@@ -1,0 +1,285 @@
+// Package amf implements the AMF0 (Action Message Format) encoding used by
+// RTMP command messages (connect, createStream, play, publish, onStatus).
+// The supported types cover everything the RTMP control plane exchanges:
+// numbers, booleans, strings (short and long), objects, ECMA arrays,
+// strict arrays, dates, null and undefined.
+package amf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AMF0 type markers.
+const (
+	markerNumber      = 0x00
+	markerBoolean     = 0x01
+	markerString      = 0x02
+	markerObject      = 0x03
+	markerNull        = 0x05
+	markerUndefined   = 0x06
+	markerECMAArray   = 0x08
+	markerObjectEnd   = 0x09
+	markerStrictArray = 0x0A
+	markerDate        = 0x0B
+	markerLongString  = 0x0C
+)
+
+// Undefined is the AMF0 undefined value.
+type Undefined struct{}
+
+// Date is an AMF0 date: milliseconds since the Unix epoch (the embedded
+// time-zone field is always zero on the wire, per spec recommendation).
+type Date struct {
+	UnixMillis float64
+}
+
+// Object is an AMF0 anonymous object: ordered key/value pairs. Encoding
+// sorts keys for determinism; decoding preserves wire order.
+type Object map[string]any
+
+// ECMAArray is an associative array with a length hint.
+type ECMAArray map[string]any
+
+// ErrTruncated is returned when the buffer ends mid-value.
+var ErrTruncated = errors.New("amf: truncated value")
+
+// Marshal appends the AMF0 encoding of each value to a new buffer.
+// Supported Go types: float64 (and all int kinds, converted), bool, string,
+// Object, ECMAArray, []any, Date, Undefined and nil.
+func Marshal(values ...any) ([]byte, error) {
+	var buf []byte
+	for _, v := range values {
+		var err error
+		buf, err = appendValue(buf, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendValue(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, markerNull), nil
+	case Undefined:
+		return append(buf, markerUndefined), nil
+	case float64:
+		return appendNumber(buf, x), nil
+	case float32:
+		return appendNumber(buf, float64(x)), nil
+	case int:
+		return appendNumber(buf, float64(x)), nil
+	case int32:
+		return appendNumber(buf, float64(x)), nil
+	case int64:
+		return appendNumber(buf, float64(x)), nil
+	case uint32:
+		return appendNumber(buf, float64(x)), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(buf, markerBoolean, b), nil
+	case string:
+		if len(x) > math.MaxUint16 {
+			buf = append(buf, markerLongString)
+			var l [4]byte
+			binary.BigEndian.PutUint32(l[:], uint32(len(x)))
+			buf = append(buf, l[:]...)
+			return append(buf, x...), nil
+		}
+		buf = append(buf, markerString)
+		return appendUTF8(buf, x), nil
+	case Object:
+		buf = append(buf, markerObject)
+		return appendProperties(buf, x)
+	case ECMAArray:
+		buf = append(buf, markerECMAArray)
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(x)))
+		buf = append(buf, l[:]...)
+		return appendProperties(buf, map[string]any(x))
+	case []any:
+		buf = append(buf, markerStrictArray)
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(x)))
+		buf = append(buf, l[:]...)
+		for _, item := range x {
+			var err error
+			buf, err = appendValue(buf, item)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case Date:
+		buf = append(buf, markerDate)
+		var d [8]byte
+		binary.BigEndian.PutUint64(d[:], math.Float64bits(x.UnixMillis))
+		buf = append(buf, d[:]...)
+		return append(buf, 0, 0), nil // time zone, always zero
+	default:
+		return nil, fmt.Errorf("amf: unsupported type %T", v)
+	}
+}
+
+func appendNumber(buf []byte, f float64) []byte {
+	buf = append(buf, markerNumber)
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], math.Float64bits(f))
+	return append(buf, d[:]...)
+}
+
+func appendUTF8(buf []byte, s string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	buf = append(buf, l[:]...)
+	return append(buf, s...)
+}
+
+func appendProperties(buf []byte, m map[string]any) ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = appendUTF8(buf, k)
+		var err error
+		buf, err = appendValue(buf, m[k])
+		if err != nil {
+			return nil, err
+		}
+	}
+	buf = appendUTF8(buf, "")
+	return append(buf, markerObjectEnd), nil
+}
+
+// Unmarshal decodes every AMF0 value in buf.
+func Unmarshal(buf []byte) ([]any, error) {
+	var out []any
+	for len(buf) > 0 {
+		v, rest, err := readValue(buf)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+		buf = rest
+	}
+	return out, nil
+}
+
+func readValue(buf []byte) (any, []byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, ErrTruncated
+	}
+	marker := buf[0]
+	buf = buf[1:]
+	switch marker {
+	case markerNumber:
+		if len(buf) < 8 {
+			return nil, nil, ErrTruncated
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(buf[:8]))
+		return f, buf[8:], nil
+	case markerBoolean:
+		if len(buf) < 1 {
+			return nil, nil, ErrTruncated
+		}
+		return buf[0] != 0, buf[1:], nil
+	case markerString:
+		s, rest, err := readUTF8(buf)
+		return s, rest, err
+	case markerLongString:
+		if len(buf) < 4 {
+			return nil, nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(buf[:4]))
+		buf = buf[4:]
+		if len(buf) < n {
+			return nil, nil, ErrTruncated
+		}
+		return string(buf[:n]), buf[n:], nil
+	case markerObject:
+		m, rest, err := readProperties(buf)
+		return Object(m), rest, err
+	case markerECMAArray:
+		if len(buf) < 4 {
+			return nil, nil, ErrTruncated
+		}
+		m, rest, err := readProperties(buf[4:])
+		return ECMAArray(m), rest, err
+	case markerStrictArray:
+		if len(buf) < 4 {
+			return nil, nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(buf[:4]))
+		buf = buf[4:]
+		arr := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			var v any
+			var err error
+			v, buf, err = readValue(buf)
+			if err != nil {
+				return nil, nil, err
+			}
+			arr = append(arr, v)
+		}
+		return arr, buf, nil
+	case markerDate:
+		if len(buf) < 10 {
+			return nil, nil, ErrTruncated
+		}
+		ms := math.Float64frombits(binary.BigEndian.Uint64(buf[:8]))
+		return Date{UnixMillis: ms}, buf[10:], nil
+	case markerNull:
+		return nil, buf, nil
+	case markerUndefined:
+		return Undefined{}, buf, nil
+	case markerObjectEnd:
+		return nil, nil, errors.New("amf: unexpected object-end marker")
+	default:
+		return nil, nil, fmt.Errorf("amf: unsupported marker %#x", marker)
+	}
+}
+
+func readUTF8(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(buf[:2]))
+	buf = buf[2:]
+	if len(buf) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func readProperties(buf []byte) (map[string]any, []byte, error) {
+	m := map[string]any{}
+	for {
+		key, rest, err := readUTF8(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		buf = rest
+		if key == "" {
+			if len(buf) == 0 || buf[0] != markerObjectEnd {
+				return nil, nil, errors.New("amf: missing object-end marker")
+			}
+			return m, buf[1:], nil
+		}
+		var v any
+		v, buf, err = readValue(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = v
+	}
+}

@@ -1,0 +1,182 @@
+package amf
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals ...any) []any {
+	t.Helper()
+	buf, err := Marshal(vals...)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestNumberRoundTrip(t *testing.T) {
+	out := roundTrip(t, 3.5, 42, int64(-7))
+	want := []any{3.5, 42.0, -7.0}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("got %v, want %v", out, want)
+	}
+}
+
+func TestBooleanStringNull(t *testing.T) {
+	out := roundTrip(t, true, false, "hello", nil, Undefined{})
+	if out[0] != true || out[1] != false || out[2] != "hello" || out[3] != nil {
+		t.Errorf("got %v", out)
+	}
+	if _, ok := out[4].(Undefined); !ok {
+		t.Errorf("undefined lost: %T", out[4])
+	}
+}
+
+func TestLongString(t *testing.T) {
+	long := strings.Repeat("x", 70000)
+	out := roundTrip(t, long)
+	if out[0] != long {
+		t.Error("long string mangled")
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	obj := Object{
+		"app":         "periscope/live",
+		"flashVer":    "LNX 11,2,202",
+		"tcUrl":       "rtmp://vidman-eu-central-1.periscope.tv:80/live",
+		"fpad":        false,
+		"audioCodecs": 3191.0,
+	}
+	out := roundTrip(t, obj)
+	got, ok := out[0].(Object)
+	if !ok {
+		t.Fatalf("type %T", out[0])
+	}
+	if !reflect.DeepEqual(got, obj) {
+		t.Errorf("got %v, want %v", got, obj)
+	}
+}
+
+func TestNestedObject(t *testing.T) {
+	obj := Object{
+		"outer": Object{"inner": 1.0, "deep": Object{"x": "y"}},
+		"arr":   []any{1.0, "two", nil},
+	}
+	out := roundTrip(t, obj)
+	if !reflect.DeepEqual(out[0], obj) {
+		t.Errorf("nested mismatch: %v", out[0])
+	}
+}
+
+func TestECMAArray(t *testing.T) {
+	arr := ECMAArray{"duration": 0.0, "width": 320.0, "height": 568.0}
+	out := roundTrip(t, arr)
+	if !reflect.DeepEqual(out[0], arr) {
+		t.Errorf("got %v", out[0])
+	}
+}
+
+func TestStrictArray(t *testing.T) {
+	arr := []any{1.0, 2.0, "three", true}
+	out := roundTrip(t, arr)
+	if !reflect.DeepEqual(out[0], arr) {
+		t.Errorf("got %v", out[0])
+	}
+}
+
+func TestDate(t *testing.T) {
+	d := Date{UnixMillis: 1478088000000}
+	out := roundTrip(t, d)
+	if !reflect.DeepEqual(out[0], d) {
+		t.Errorf("got %v", out[0])
+	}
+}
+
+func TestCommandMessageShape(t *testing.T) {
+	// The canonical RTMP connect command layout.
+	buf, err := Marshal("connect", 1.0, Object{"app": "live"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "connect" || out[1] != 1.0 {
+		t.Errorf("command shape broken: %v", out)
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	buf, _ := Marshal("hello", 3.14, Object{"k": "v"})
+	for cut := 1; cut < len(buf); cut++ {
+		// Must never panic; error or short result both acceptable.
+		Unmarshal(buf[:cut])
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	if _, err := Marshal(struct{}{}); err == nil {
+		t.Error("want error for unsupported type")
+	}
+}
+
+func TestNumberPropertyQuick(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true // NaN != NaN; skip
+		}
+		out := roundTripQuiet(x)
+		return len(out) == 1 && out[0] == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringPropertyQuick(t *testing.T) {
+	f := func(s string) bool {
+		out := roundTripQuiet(s)
+		return len(out) == 1 && out[0] == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectPropertyQuick(t *testing.T) {
+	f := func(keys []string, vals []float64) bool {
+		obj := Object{}
+		for i, k := range keys {
+			if k == "" || i >= len(vals) || math.IsNaN(vals[i]) {
+				continue
+			}
+			obj[k] = vals[i]
+		}
+		out := roundTripQuiet(obj)
+		return len(out) == 1 && reflect.DeepEqual(out[0], obj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func roundTripQuiet(vals ...any) []any {
+	buf, err := Marshal(vals...)
+	if err != nil {
+		return nil
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		return nil
+	}
+	return out
+}

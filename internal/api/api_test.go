@@ -1,0 +1,219 @@
+package api
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"periscope/internal/broadcastmodel"
+)
+
+type stubVideo struct{}
+
+func (stubVideo) AccessVideo(id string) (AccessVideoResponse, error) {
+	if id == "missing" {
+		return AccessVideoResponse{}, errors.New("no such broadcast")
+	}
+	return AccessVideoResponse{Protocol: "RTMP", RTMPAddr: "127.0.0.1:1935", StreamName: id}, nil
+}
+
+func newTestServer(t *testing.T, rateLimit float64) (*Server, *Client, *broadcastmodel.Population) {
+	t.Helper()
+	cfg := broadcastmodel.DefaultConfig()
+	cfg.TargetConcurrent = 400
+	pop := broadcastmodel.New(cfg, time.Date(2016, 4, 1, 15, 0, 0, 0, time.UTC))
+	scfg := DefaultServerConfig()
+	scfg.RateLimit = rateLimit
+	srv := NewServer(pop, stubVideo{}, scfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, NewClient(hs.URL, "sess-1", nil), pop
+}
+
+func TestMapGeoReturnsCappedList(t *testing.T) {
+	_, c, _ := newTestServer(t, 0)
+	resp, err := c.MapGeoBroadcastFeed(MapGeoBroadcastFeedRequest{
+		P1Lat: -90, P1Lng: -180, P2Lat: 90, P2Lng: 180,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Broadcasts) == 0 {
+		t.Fatal("no broadcasts in world query")
+	}
+	if len(resp.Broadcasts) > 50 {
+		t.Errorf("cap violated: %d", len(resp.Broadcasts))
+	}
+}
+
+func TestZoomRevealsMore(t *testing.T) {
+	// The defining crawler observation: querying the four quadrants of an
+	// area yields at least as many distinct broadcasts as the single
+	// coarse query, usually more.
+	_, c, _ := newTestServer(t, 0)
+	world, err := c.MapGeoBroadcastFeed(MapGeoBroadcastFeedRequest{
+		P1Lat: -90, P1Lng: -180, P2Lat: 90, P2Lng: 180,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	quads := []MapGeoBroadcastFeedRequest{
+		{P1Lat: -90, P1Lng: -180, P2Lat: 0, P2Lng: 0},
+		{P1Lat: -90, P1Lng: 0, P2Lat: 0, P2Lng: 180},
+		{P1Lat: 0, P1Lng: -180, P2Lat: 90, P2Lng: 0},
+		{P1Lat: 0, P1Lng: 0, P2Lat: 90, P2Lng: 180},
+	}
+	for _, q := range quads {
+		resp, err := c.MapGeoBroadcastFeed(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range resp.Broadcasts {
+			seen[b.ID] = true
+		}
+	}
+	if len(seen) < len(world.Broadcasts) {
+		t.Errorf("zoom found %d < coarse %d", len(seen), len(world.Broadcasts))
+	}
+}
+
+func TestGetBroadcastsViewers(t *testing.T) {
+	_, c, pop := newTestServer(t, 0)
+	var ids []string
+	for _, b := range pop.Live() {
+		ids = append(ids, b.ID)
+		if len(ids) == 20 {
+			break
+		}
+	}
+	resp, err := c.GetBroadcasts(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Broadcasts) != 20 {
+		t.Fatalf("got %d descriptions", len(resp.Broadcasts))
+	}
+	for _, d := range resp.Broadcasts {
+		if d.State != "RUNNING" {
+			t.Errorf("state = %s", d.State)
+		}
+		if _, err := d.StartTime(); err != nil {
+			t.Errorf("bad created_at: %v", err)
+		}
+	}
+}
+
+func TestGetBroadcastsUnknownIDsSkipped(t *testing.T) {
+	_, c, _ := newTestServer(t, 0)
+	resp, err := c.GetBroadcasts([]string{"doesnotexist42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Broadcasts) != 0 {
+		t.Errorf("got %d, want 0", len(resp.Broadcasts))
+	}
+}
+
+func TestRateLimiting429(t *testing.T) {
+	_, c, _ := newTestServer(t, 2) // 2 rps, burst 6
+	var rateLimited bool
+	for i := 0; i < 20; i++ {
+		_, err := c.Teleport()
+		if errors.As(err, &ErrRateLimited{}) {
+			rateLimited = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rateLimited {
+		t.Error("burst of 20 requests never hit 429")
+	}
+	if c.RateLimited == 0 {
+		t.Error("client did not count 429s")
+	}
+}
+
+func TestRateLimitPerSession(t *testing.T) {
+	// Different session tokens have independent buckets — the 4-crawler
+	// trick from §4.
+	srv, c1, pop := newTestServer(t, 1)
+	_ = srv
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c2 := NewClient(hs.URL, "sess-2", nil)
+	_ = pop
+	// Exhaust c1's budget.
+	for i := 0; i < 15; i++ {
+		c1.Teleport()
+	}
+	if _, err := c2.Teleport(); err != nil {
+		t.Errorf("fresh session should not be limited: %v", err)
+	}
+}
+
+func TestPlaybackMetaStored(t *testing.T) {
+	srv, c, _ := newTestServer(t, 0)
+	stats := PlaybackMeta{
+		BroadcastID: "abc", Protocol: "RTMP",
+		NStallEvents: 2, AvgStallSec: 3.5, PlaybackDelaySec: 2.1,
+		PlayTimeSec: 52.9, StallTimeSec: 7.0,
+	}
+	if err := c.PlaybackMeta(stats); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.PlaybackMetas()
+	if len(got) != 1 || got[0] != stats {
+		t.Errorf("stored = %+v", got)
+	}
+}
+
+func TestAccessVideo(t *testing.T) {
+	_, c, _ := newTestServer(t, 0)
+	resp, err := c.AccessVideo("someid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Protocol != "RTMP" || resp.StreamName != "someid" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if _, err := c.AccessVideo("missing"); err == nil {
+		t.Error("want error for missing broadcast")
+	}
+}
+
+func TestTeleportReturnsLiveID(t *testing.T) {
+	_, c, pop := newTestServer(t, 0)
+	id, err := c.Teleport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pop.Get(id); !ok {
+		t.Errorf("teleport returned unknown id %q", id)
+	}
+}
+
+func TestInvalidArea(t *testing.T) {
+	_, c, _ := newTestServer(t, 0)
+	_, err := c.MapGeoBroadcastFeed(MapGeoBroadcastFeedRequest{P1Lat: 50, P1Lng: 0, P2Lat: 10, P2Lng: 10})
+	if err == nil {
+		t.Error("want error for inverted rectangle")
+	}
+}
+
+func TestGETRejected(t *testing.T) {
+	srv, _, _ := newTestServer(t, 0)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/api/v2/teleport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,108 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ErrRateLimited is returned when the server answers HTTP 429; the crawler
+// paces itself on it.
+type ErrRateLimited struct{}
+
+func (ErrRateLimited) Error() string { return "api: HTTP 429 Too Many Requests" }
+
+// Client is the app-side API client. Crawlers create one per logged-in
+// session (distinct session tokens get distinct rate-limit buckets).
+type Client struct {
+	BaseURL string
+	Session string
+	HTTP    *http.Client
+	// Requests counts issued API calls; RateLimited counts 429 responses.
+	Requests    int
+	RateLimited int
+}
+
+// NewClient creates a client for the API at baseURL with a session token.
+func NewClient(baseURL, session string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{BaseURL: baseURL, Session: session, HTTP: hc}
+}
+
+func (c *Client) post(name string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/api/v2/"+name, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(SessionHeader, c.Session)
+	c.Requests++
+	httpResp, err := c.HTTP.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return err
+	}
+	switch httpResp.StatusCode {
+	case http.StatusOK:
+		if resp == nil {
+			return nil
+		}
+		return json.Unmarshal(data, resp)
+	case http.StatusTooManyRequests:
+		c.RateLimited++
+		return ErrRateLimited{}
+	default:
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("api: %s: %s (HTTP %d)", name, e.Error, httpResp.StatusCode)
+		}
+		return fmt.Errorf("api: %s: HTTP %d", name, httpResp.StatusCode)
+	}
+}
+
+// MapGeoBroadcastFeed queries the broadcasts visible in an area.
+func (c *Client) MapGeoBroadcastFeed(req MapGeoBroadcastFeedRequest) (MapGeoBroadcastFeedResponse, error) {
+	var resp MapGeoBroadcastFeedResponse
+	err := c.post("mapGeoBroadcastFeed", req, &resp)
+	return resp, err
+}
+
+// GetBroadcasts fetches descriptions (with viewer counts) for IDs.
+func (c *Client) GetBroadcasts(ids []string) (GetBroadcastsResponse, error) {
+	var resp GetBroadcastsResponse
+	err := c.post("getBroadcasts", GetBroadcastsRequest{BroadcastIDs: ids}, &resp)
+	return resp, err
+}
+
+// PlaybackMeta uploads end-of-session statistics.
+func (c *Client) PlaybackMeta(stats PlaybackMeta) error {
+	return c.post("playbackMeta", PlaybackMetaRequest{Stats: stats}, nil)
+}
+
+// AccessVideo resolves the stream endpoint for a broadcast.
+func (c *Client) AccessVideo(id string) (AccessVideoResponse, error) {
+	var resp AccessVideoResponse
+	err := c.post("accessVideo", AccessVideoRequest{BroadcastID: id}, &resp)
+	return resp, err
+}
+
+// Teleport returns a random live broadcast id.
+func (c *Client) Teleport() (string, error) {
+	var resp TeleportResponse
+	if err := c.post("teleport", struct{}{}, &resp); err != nil {
+		return "", err
+	}
+	return resp.BroadcastID, nil
+}

@@ -1,0 +1,56 @@
+package api
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a non-blocking per-key token bucket: each API session
+// (logged-in user) gets its own allowance, which is why the crawler ran
+// four emulators "with different user logged in (avoids rate limiting)".
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // requests per second
+	burst   float64
+	buckets map[string]*rlBucket
+	nowFn   func() time.Time
+}
+
+type rlBucket struct {
+	tokens   float64
+	lastFill time.Time
+}
+
+// NewRateLimiter creates a limiter with the given sustained rate and burst.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	return &RateLimiter{rate: rate, burst: burst, buckets: map[string]*rlBucket{}, nowFn: time.Now}
+}
+
+// SetNowFunc overrides the clock (virtual-time tests).
+func (rl *RateLimiter) SetNowFunc(f func() time.Time) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	rl.nowFn = f
+}
+
+// Allow reports whether the key may issue one more request now.
+func (rl *RateLimiter) Allow(key string) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.nowFn()
+	b, ok := rl.buckets[key]
+	if !ok {
+		b = &rlBucket{tokens: rl.burst, lastFill: now}
+		rl.buckets[key] = b
+	}
+	b.tokens += rl.rate * now.Sub(b.lastFill).Seconds()
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.lastFill = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

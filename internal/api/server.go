@@ -1,0 +1,236 @@
+package api
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"periscope/internal/broadcastmodel"
+	"periscope/internal/geo"
+)
+
+// SessionHeader carries the logged-in user's session token; the rate
+// limiter keys on it.
+const SessionHeader = "X-Periscope-Session"
+
+// VideoAccessProvider resolves where a broadcast's stream can be fetched.
+// The service layer implements it; API tests use a stub.
+type VideoAccessProvider interface {
+	AccessVideo(broadcastID string) (AccessVideoResponse, error)
+}
+
+// ServerConfig tunes the API endpoint.
+type ServerConfig struct {
+	// RateLimit is the sustained per-session request rate; Burst the
+	// bucket depth. Zero rate disables limiting.
+	RateLimit float64
+	Burst     float64
+	// MapVisibleCap bounds how many broadcasts one mapGeoBroadcastFeed
+	// response reveals — the reason zooming in uncovers more broadcasts
+	// and the deep crawl must recurse.
+	MapVisibleCap int
+	// Seed drives the teleport randomness.
+	Seed int64
+}
+
+// DefaultServerConfig mirrors observed service behaviour.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{RateLimit: 2, Burst: 6, MapVisibleCap: 50, Seed: 1}
+}
+
+// Server is the Periscope-style API server.
+type Server struct {
+	Pop    *broadcastmodel.Population
+	Video  VideoAccessProvider
+	cfg    ServerConfig
+	limit  *RateLimiter
+	mux    *http.ServeMux
+	rngMu  sync.Mutex
+	rng    *rand.Rand
+	metaMu sync.Mutex
+	metas  []PlaybackMeta
+}
+
+// NewServer wires the API over a population. video may be nil (accessVideo
+// then returns 503), letting usage-pattern studies run without the media
+// plane.
+func NewServer(pop *broadcastmodel.Population, video VideoAccessProvider, cfg ServerConfig) *Server {
+	if cfg.MapVisibleCap <= 0 {
+		cfg.MapVisibleCap = 50
+	}
+	s := &Server{
+		Pop:   pop,
+		Video: video,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.RateLimit > 0 {
+		s.limit = NewRateLimiter(cfg.RateLimit, cfg.Burst)
+		s.limit.SetNowFunc(func() time.Time { return pop.Now() })
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v2/mapGeoBroadcastFeed", s.handleMapGeo)
+	mux.HandleFunc("/api/v2/getBroadcasts", s.handleGetBroadcasts)
+	mux.HandleFunc("/api/v2/playbackMeta", s.handlePlaybackMeta)
+	mux.HandleFunc("/api/v2/accessVideo", s.handleAccessVideo)
+	mux.HandleFunc("/api/v2/teleport", s.handleTeleport)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.limit != nil && strings.HasPrefix(r.URL.Path, "/api/v2/") {
+		key := r.Header.Get(SessionHeader)
+		if key == "" {
+			key = r.RemoteAddr
+		}
+		if !s.limit.Allow(key) {
+			writeJSONError(w, http.StatusTooManyRequests, "Too many requests")
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) desc(b *broadcastmodel.Broadcast, withViewers bool) BroadcastDesc {
+	d := BroadcastDesc{
+		ID:                 b.ID,
+		CreatedAt:          b.Start.UTC().Format(time.RFC3339Nano),
+		State:              "RUNNING",
+		LocationDisclosed:  b.LocationDisclosed,
+		AvailableForReplay: b.AvailableForReplay,
+		Region:             b.Region,
+	}
+	if b.LocationDisclosed {
+		d.Latitude = b.Location.Lat
+		d.Longitude = b.Location.Lon
+	}
+	if withViewers {
+		d.NumWatching = b.ViewersAt(s.Pop.Now())
+	}
+	return d
+}
+
+func (s *Server) handleMapGeo(w http.ResponseWriter, r *http.Request) {
+	var req MapGeoBroadcastFeedRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	rect := geo.Rect{South: req.P1Lat, West: req.P1Lng, North: req.P2Lat, East: req.P2Lng}
+	if !rect.Valid() {
+		writeJSONError(w, http.StatusBadRequest, "invalid area")
+		return
+	}
+	// The map reveals only the top-ranked broadcasts per query; zooming
+	// into a smaller area (fewer broadcasts inside) uncovers the rest.
+	in := s.Pop.InArea(rect)
+	if len(in) > s.cfg.MapVisibleCap {
+		in = in[:s.cfg.MapVisibleCap]
+	}
+	resp := MapGeoBroadcastFeedResponse{}
+	for _, b := range in {
+		resp.Broadcasts = append(resp.Broadcasts, s.desc(b, false))
+	}
+	// The crawler sets include_replay=false "to only discover live
+	// broadcasts"; the app's default query also surfaces replays.
+	if req.IncludeReplay {
+		replays := s.Pop.ReplayableInArea(rect)
+		budget := s.cfg.MapVisibleCap - len(resp.Broadcasts)
+		for i, b := range replays {
+			if i >= budget {
+				break
+			}
+			d := s.desc(b, false)
+			d.State = "ENDED"
+			resp.Broadcasts = append(resp.Broadcasts, d)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleGetBroadcasts(w http.ResponseWriter, r *http.Request) {
+	var req GetBroadcastsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp := GetBroadcastsResponse{}
+	for _, id := range req.BroadcastIDs {
+		if b, ok := s.Pop.Get(id); ok {
+			resp.Broadcasts = append(resp.Broadcasts, s.desc(b, true))
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handlePlaybackMeta(w http.ResponseWriter, r *http.Request) {
+	var req PlaybackMetaRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.metaMu.Lock()
+	s.metas = append(s.metas, req.Stats)
+	s.metaMu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+// PlaybackMetas returns all statistics uploads received so far.
+func (s *Server) PlaybackMetas() []PlaybackMeta {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	return append([]PlaybackMeta(nil), s.metas...)
+}
+
+func (s *Server) handleAccessVideo(w http.ResponseWriter, r *http.Request) {
+	var req AccessVideoRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if s.Video == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "video plane not running")
+		return
+	}
+	resp, err := s.Video.AccessVideo(req.BroadcastID)
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleTeleport(w http.ResponseWriter, r *http.Request) {
+	s.rngMu.Lock()
+	b := s.Pop.Teleport(s.rng)
+	s.rngMu.Unlock()
+	if b == nil {
+		writeJSONError(w, http.StatusNotFound, "no live broadcasts")
+		return
+	}
+	writeJSON(w, TeleportResponse{BroadcastID: b.ID})
+}

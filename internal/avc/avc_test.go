@@ -1,0 +1,272 @@
+package avc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEscapeUnescapeKnown(t *testing.T) {
+	cases := []struct{ in, escaped []byte }{
+		{[]byte{0, 0, 0}, []byte{0, 0, 3, 0}},
+		{[]byte{0, 0, 1}, []byte{0, 0, 3, 1}},
+		{[]byte{0, 0, 2}, []byte{0, 0, 3, 2}},
+		{[]byte{0, 0, 3}, []byte{0, 0, 3, 3}},
+		{[]byte{0, 0, 4}, []byte{0, 0, 4}},
+		{[]byte{1, 2, 3}, []byte{1, 2, 3}},
+		{[]byte{0, 0, 0, 0, 0}, []byte{0, 0, 3, 0, 0, 3, 0}},
+	}
+	for _, c := range cases {
+		got := EscapeRBSP(c.in)
+		if !bytes.Equal(got, c.escaped) {
+			t.Errorf("Escape(%v) = %v, want %v", c.in, got, c.escaped)
+		}
+		back := UnescapeRBSP(got)
+		if !bytes.Equal(back, c.in) {
+			t.Errorf("Unescape(Escape(%v)) = %v", c.in, back)
+		}
+	}
+}
+
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(in []byte) bool {
+		return bytes.Equal(UnescapeRBSP(EscapeRBSP(in)), in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapeNoForbiddenPatterns(t *testing.T) {
+	f := func(in []byte) bool {
+		e := EscapeRBSP(in)
+		for i := 0; i+2 < len(e); i++ {
+			if e[i] == 0 && e[i+1] == 0 && e[i+2] <= 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnexBRoundTrip(t *testing.T) {
+	units := []NALUnit{
+		{RefIDC: 3, Type: NALSPS, RBSP: DefaultSPS().Marshal()},
+		{RefIDC: 3, Type: NALPPS, RBSP: DefaultPPS().Marshal()},
+		{RefIDC: 3, Type: NALSliceIDR, RBSP: []byte{0x88, 0, 0, 1, 0, 0, 0, 42}},
+	}
+	data := MarshalAnnexB(units)
+	back, err := ParseAnnexB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(units) {
+		t.Fatalf("got %d units, want %d", len(back), len(units))
+	}
+	for i := range units {
+		if back[i].Type != units[i].Type || back[i].RefIDC != units[i].RefIDC {
+			t.Errorf("unit %d header mismatch: %v vs %v", i, back[i], units[i])
+		}
+		if !bytes.Equal(back[i].RBSP, units[i].RBSP) {
+			t.Errorf("unit %d RBSP mismatch", i)
+		}
+	}
+}
+
+func TestAnnexBThreeByteStartCode(t *testing.T) {
+	raw := append([]byte{0, 0, 1, 0x67}, DefaultSPS().Marshal()...)
+	units, err := ParseAnnexB(raw)
+	if err != nil || len(units) != 1 || units[0].Type != NALSPS {
+		t.Fatalf("units=%v err=%v", units, err)
+	}
+}
+
+func TestAVCCRoundTrip(t *testing.T) {
+	units := []NALUnit{
+		{RefIDC: 2, Type: NALSliceNonIDR, RBSP: []byte{1, 2, 3, 0, 0, 0, 7}},
+		{RefIDC: 0, Type: NALSEI, RBSP: []byte{5, 1, 0xAA, 0x80}},
+	}
+	data := MarshalAVCC(units)
+	back, err := ParseAVCC(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Type != NALSliceNonIDR || back[1].Type != NALSEI {
+		t.Fatalf("bad units: %v", back)
+	}
+	if !bytes.Equal(back[0].RBSP, units[0].RBSP) {
+		t.Error("RBSP 0 mismatch")
+	}
+}
+
+func TestAVCCTruncated(t *testing.T) {
+	if _, err := ParseAVCC([]byte{0, 0, 0, 200, 1}); err == nil {
+		t.Error("want error on truncated AVCC")
+	}
+}
+
+func TestSPSRoundTrip(t *testing.T) {
+	s := DefaultSPS()
+	s.VUITimingNum = 1
+	s.VUIDen = 60 // time_scale = 2*fps
+	got, err := ParseSPS(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 320 || got.Height != 568 {
+		t.Errorf("dimensions = %dx%d, want 320x568", got.Width, got.Height)
+	}
+	if got.ProfileIDC != 66 || got.LevelIDC != 31 {
+		t.Errorf("profile/level = %d/%d", got.ProfileIDC, got.LevelIDC)
+	}
+	if got.Log2MaxFrameNum != 8 {
+		t.Errorf("log2MaxFrameNum = %d", got.Log2MaxFrameNum)
+	}
+	if got.VUITimingNum != 1 || got.VUIDen != 60 {
+		t.Errorf("VUI timing = %d/%d", got.VUITimingNum, got.VUIDen)
+	}
+}
+
+func TestSPSPortraitLandscape(t *testing.T) {
+	// "Video resolution is always 320x568 (or vice versa depending on
+	// orientation)" — both must round-trip.
+	s := DefaultSPS()
+	s.Width, s.Height = 568, 320
+	got, err := ParseSPS(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 568 || got.Height != 320 {
+		t.Errorf("dimensions = %dx%d, want 568x320", got.Width, got.Height)
+	}
+}
+
+func TestPPSRoundTrip(t *testing.T) {
+	for _, qp := range []int32{10, 20, 26, 35, 51} {
+		p := PPS{PicInitQP: qp}
+		got, err := ParsePPS(p.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PicInitQP != qp {
+			t.Errorf("PicInitQP = %d, want %d", got.PicInitQP, qp)
+		}
+	}
+}
+
+func TestSliceHeaderRoundTrip(t *testing.T) {
+	sps := DefaultSPS()
+	cases := []SliceHeader{
+		{Type: SliceI, IDR: true, IDRPicID: 3, FrameNum: 0, QPDelta: 4},
+		{Type: SliceP, FrameNum: 17, QPDelta: -3},
+		{Type: SliceB, FrameNum: 18, QPDelta: 0},
+		{Type: SliceI, FrameNum: 36, QPDelta: 12},
+	}
+	for _, h := range cases {
+		nal := MarshalSlice(h, sps, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+		got, err := ParseSliceHeader(nal, sps)
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got.Type != h.Type || got.FrameNum != h.FrameNum || got.QPDelta != h.QPDelta || got.IDR != h.IDR {
+			t.Errorf("round trip %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestSliceQP(t *testing.T) {
+	pps := PPS{PicInitQP: 30}
+	h := SliceHeader{QPDelta: -5}
+	if qp := h.QP(pps); qp != 25 {
+		t.Errorf("QP = %d, want 25", qp)
+	}
+}
+
+func TestSliceHeaderProperty(t *testing.T) {
+	sps := DefaultSPS()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		h := SliceHeader{
+			Type:     SliceType(rng.Intn(3)),
+			FrameNum: uint32(rng.Intn(256)),
+			QPDelta:  int32(rng.Intn(40) - 20),
+		}
+		if h.Type == SliceI && rng.Intn(2) == 0 {
+			h.IDR = true
+			h.IDRPicID = uint32(rng.Intn(16))
+		}
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		nal := MarshalSlice(h, sps, payload)
+		got, err := ParseSliceHeader(nal, sps)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got.Type != h.Type || got.QPDelta != h.QPDelta || got.FrameNum != h.FrameNum {
+			t.Fatalf("iter %d: %+v -> %+v", i, h, got)
+		}
+	}
+}
+
+func TestParseSliceHeaderWrongType(t *testing.T) {
+	if _, err := ParseSliceHeader(NALUnit{Type: NALSEI}, DefaultSPS()); err == nil {
+		t.Error("want error for non-slice NAL")
+	}
+}
+
+func TestNTPConversion(t *testing.T) {
+	ts := time.Date(2016, 11, 14, 9, 30, 15, 123456789, time.UTC)
+	back := FromNTP(ToNTP(ts))
+	if d := back.Sub(ts); d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("NTP round trip drift %v", d)
+	}
+}
+
+func TestTimestampSEIRoundTrip(t *testing.T) {
+	ts := time.Date(2016, 5, 13, 12, 0, 0, 500000000, time.UTC)
+	nal := MarshalTimestampSEI(ts)
+	got, err := ParseTimestampSEI(nal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Sub(ts); d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("SEI timestamp drift %v", d)
+	}
+}
+
+func TestTimestampSEISurvivesAnnexB(t *testing.T) {
+	// The NTP value may contain forbidden byte patterns; the timestamp must
+	// survive escaping and stream reassembly, because the latency analysis
+	// depends on it.
+	ts := time.Unix(0, 0).Add(257 * time.Second) // crafted to produce zero bytes
+	units := []NALUnit{MarshalTimestampSEI(ts)}
+	parsed, err := ParseAnnexB(MarshalAnnexB(units))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := FindTimestamp(parsed)
+	if !ok {
+		t.Fatal("timestamp lost in transit")
+	}
+	if d := got.Sub(ts); d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("drift %v", d)
+	}
+}
+
+func TestFindTimestampAbsent(t *testing.T) {
+	units := []NALUnit{{Type: NALSliceIDR, RBSP: []byte{1}}}
+	if _, ok := FindTimestamp(units); ok {
+		t.Error("found timestamp where none exists")
+	}
+}
+
+func TestNALTypeString(t *testing.T) {
+	if NALSPS.String() != "SPS" || NALSliceIDR.String() != "IDR" {
+		t.Error("NALType String broken")
+	}
+}

@@ -1,0 +1,294 @@
+package avc
+
+import (
+	"errors"
+	"fmt"
+
+	"periscope/internal/bits"
+)
+
+// SPS holds the sequence parameter set fields this implementation uses.
+// The encoder always emits pic_order_cnt_type 2 and frame_mbs_only streams,
+// matching the simple baseline/main encodes observed from mobile devices.
+type SPS struct {
+	ProfileIDC           uint8
+	LevelIDC             uint8
+	SPSID                uint32
+	Log2MaxFrameNum      uint32 // log2_max_frame_num_minus4 + 4
+	MaxNumRefFrames      uint32
+	Width, Height        int // luma sample dimensions after cropping
+	FrameCropBottomLuma  int // bottom crop in luma samples
+	VUITimingNum, VUIDen uint32
+}
+
+// DefaultSPS returns the SPS for a Periscope-like 320x568 stream.
+func DefaultSPS() SPS {
+	return SPS{
+		ProfileIDC:      66, // baseline
+		LevelIDC:        31,
+		SPSID:           0,
+		Log2MaxFrameNum: 8,
+		MaxNumRefFrames: 1,
+		Width:           320,
+		Height:          568,
+	}
+}
+
+// Marshal encodes the SPS RBSP.
+func (s SPS) Marshal() []byte {
+	w := bits.NewWriter(32)
+	w.WriteBits(uint64(s.ProfileIDC), 8)
+	w.WriteBits(0, 8) // constraint flags + reserved
+	w.WriteBits(uint64(s.LevelIDC), 8)
+	w.WriteUE(s.SPSID)
+	// profile_idc 66 is not in the high-profile list, so chroma fields are
+	// absent.
+	w.WriteUE(s.Log2MaxFrameNum - 4)
+	w.WriteUE(2) // pic_order_cnt_type = 2: display order == decode order basis
+	w.WriteUE(s.MaxNumRefFrames)
+	w.WriteBit(0) // gaps_in_frame_num_value_allowed_flag
+
+	widthMBs := (s.Width + 15) / 16
+	heightMBs := (s.Height + 15) / 16
+	cropRight := widthMBs*16 - s.Width
+	cropBottom := heightMBs*16 - s.Height
+	w.WriteUE(uint32(widthMBs - 1))
+	w.WriteUE(uint32(heightMBs - 1))
+	w.WriteBit(1) // frame_mbs_only_flag
+	w.WriteBit(0) // direct_8x8_inference_flag
+	if cropBottom > 0 || cropRight > 0 {
+		w.WriteBit(1)                     // frame_cropping_flag
+		w.WriteUE(0)                      // left
+		w.WriteUE(uint32(cropRight / 2))  // right, in 2-sample units for 4:2:0
+		w.WriteUE(0)                      // top
+		w.WriteUE(uint32(cropBottom / 2)) // bottom
+	} else {
+		w.WriteBit(0)
+	}
+	if s.VUITimingNum > 0 && s.VUIDen > 0 {
+		w.WriteBit(1) // vui_parameters_present_flag
+		writeVUITiming(w, s.VUITimingNum, s.VUIDen)
+	} else {
+		w.WriteBit(0)
+	}
+	w.TrailingBits()
+	return w.Bytes()
+}
+
+// writeVUITiming writes a minimal VUI with only timing info present.
+func writeVUITiming(w *bits.Writer, num, den uint32) {
+	w.WriteBit(0) // aspect_ratio_info_present_flag
+	w.WriteBit(0) // overscan_info_present_flag
+	w.WriteBit(0) // video_signal_type_present_flag
+	w.WriteBit(0) // chroma_loc_info_present_flag
+	w.WriteBit(1) // timing_info_present_flag
+	w.WriteBits(uint64(num), 32)
+	w.WriteBits(uint64(den), 32)
+	w.WriteBit(0) // fixed_frame_rate_flag: Periscope frame rate is variable
+	w.WriteBit(0) // nal_hrd_parameters_present_flag
+	w.WriteBit(0) // vcl_hrd_parameters_present_flag
+	w.WriteBit(0) // pic_struct_present_flag
+	w.WriteBit(0) // bitstream_restriction_flag
+}
+
+// ParseSPS decodes an SPS RBSP produced by Marshal (or any SPS using
+// pic_order_cnt_type 2, frame_mbs_only, non-high profile).
+func ParseSPS(rbsp []byte) (SPS, error) {
+	r := bits.NewReader(rbsp)
+	var s SPS
+	profile, err := r.ReadBits(8)
+	if err != nil {
+		return s, err
+	}
+	s.ProfileIDC = uint8(profile)
+	if _, err := r.ReadBits(8); err != nil { // constraint flags
+		return s, err
+	}
+	level, err := r.ReadBits(8)
+	if err != nil {
+		return s, err
+	}
+	s.LevelIDC = uint8(level)
+	if s.SPSID, err = r.ReadUE(); err != nil {
+		return s, err
+	}
+	switch s.ProfileIDC {
+	case 100, 110, 122, 244, 44, 83, 86, 118, 128:
+		return s, fmt.Errorf("avc: high-profile SPS (profile %d) not supported", s.ProfileIDC)
+	}
+	v, err := r.ReadUE()
+	if err != nil {
+		return s, err
+	}
+	s.Log2MaxFrameNum = v + 4
+	poc, err := r.ReadUE()
+	if err != nil {
+		return s, err
+	}
+	if poc != 2 {
+		return s, fmt.Errorf("avc: pic_order_cnt_type %d not supported (want 2)", poc)
+	}
+	if s.MaxNumRefFrames, err = r.ReadUE(); err != nil {
+		return s, err
+	}
+	if _, err = r.ReadBit(); err != nil { // gaps allowed flag
+		return s, err
+	}
+	wm, err := r.ReadUE()
+	if err != nil {
+		return s, err
+	}
+	hm, err := r.ReadUE()
+	if err != nil {
+		return s, err
+	}
+	frameMBsOnly, err := r.ReadBit()
+	if err != nil {
+		return s, err
+	}
+	if frameMBsOnly != 1 {
+		return s, errors.New("avc: interlaced SPS not supported")
+	}
+	if _, err = r.ReadBit(); err != nil { // direct_8x8_inference_flag
+		return s, err
+	}
+	s.Width = int(wm+1) * 16
+	s.Height = int(hm+1) * 16
+	crop, err := r.ReadBit()
+	if err != nil {
+		return s, err
+	}
+	if crop == 1 {
+		l, _ := r.ReadUE()
+		rr, _ := r.ReadUE()
+		tp, _ := r.ReadUE()
+		bt, err := r.ReadUE()
+		if err != nil {
+			return s, err
+		}
+		s.Width -= int(l+rr) * 2
+		s.Height -= int(tp+bt) * 2
+		s.FrameCropBottomLuma = int(bt) * 2
+	}
+	vui, err := r.ReadBit()
+	if err != nil {
+		return s, err
+	}
+	if vui == 1 {
+		if err := parseVUITiming(r, &s); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func parseVUITiming(r *bits.Reader, s *SPS) error {
+	for _, n := range []uint{1, 1, 1, 1} { // four absent-flag fields
+		if _, err := r.ReadBits(n); err != nil {
+			return err
+		}
+	}
+	timing, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if timing == 1 {
+		num, err := r.ReadBits(32)
+		if err != nil {
+			return err
+		}
+		den, err := r.ReadBits(32)
+		if err != nil {
+			return err
+		}
+		s.VUITimingNum = uint32(num)
+		s.VUIDen = uint32(den)
+		if _, err := r.ReadBit(); err != nil { // fixed_frame_rate_flag
+			return err
+		}
+	}
+	return nil
+}
+
+// PPS holds the picture parameter set fields this implementation uses.
+type PPS struct {
+	PPSID        uint32
+	SPSID        uint32
+	PicInitQP    int32 // pic_init_qp_minus26 + 26
+	EntropyCABAC bool
+}
+
+// DefaultPPS returns a PPS referencing SPS 0 with pic_init_qp 26.
+func DefaultPPS() PPS { return PPS{PicInitQP: 26} }
+
+// Marshal encodes the PPS RBSP.
+func (p PPS) Marshal() []byte {
+	w := bits.NewWriter(8)
+	w.WriteUE(p.PPSID)
+	w.WriteUE(p.SPSID)
+	if p.EntropyCABAC {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteBit(0)               // bottom_field_pic_order_in_frame_present_flag
+	w.WriteUE(0)                // num_slice_groups_minus1
+	w.WriteUE(0)                // num_ref_idx_l0_default_active_minus1
+	w.WriteUE(0)                // num_ref_idx_l1_default_active_minus1
+	w.WriteBit(0)               // weighted_pred_flag
+	w.WriteBits(0, 2)           // weighted_bipred_idc
+	w.WriteSE(p.PicInitQP - 26) // pic_init_qp_minus26
+	w.WriteSE(0)                // pic_init_qs_minus26
+	w.WriteSE(0)                // chroma_qp_index_offset
+	w.WriteBit(0)               // deblocking_filter_control_present_flag
+	w.WriteBit(0)               // constrained_intra_pred_flag
+	w.WriteBit(0)               // redundant_pic_cnt_present_flag
+	w.TrailingBits()
+	return w.Bytes()
+}
+
+// ParsePPS decodes a PPS RBSP.
+func ParsePPS(rbsp []byte) (PPS, error) {
+	r := bits.NewReader(rbsp)
+	var p PPS
+	var err error
+	if p.PPSID, err = r.ReadUE(); err != nil {
+		return p, err
+	}
+	if p.SPSID, err = r.ReadUE(); err != nil {
+		return p, err
+	}
+	cabac, err := r.ReadBit()
+	if err != nil {
+		return p, err
+	}
+	p.EntropyCABAC = cabac == 1
+	if _, err = r.ReadBit(); err != nil {
+		return p, err
+	}
+	groups, err := r.ReadUE()
+	if err != nil {
+		return p, err
+	}
+	if groups != 0 {
+		return p, errors.New("avc: slice groups not supported")
+	}
+	if _, err = r.ReadUE(); err != nil {
+		return p, err
+	}
+	if _, err = r.ReadUE(); err != nil {
+		return p, err
+	}
+	if _, err = r.ReadBit(); err != nil {
+		return p, err
+	}
+	if _, err = r.ReadBits(2); err != nil {
+		return p, err
+	}
+	qp, err := r.ReadSE()
+	if err != nil {
+		return p, err
+	}
+	p.PicInitQP = qp + 26
+	return p, nil
+}

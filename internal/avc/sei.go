@@ -1,0 +1,130 @@
+package avc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// The paper (§5.1) observed that "the broadcasting client application
+// regularly embeds an NTP timestamp into the video data, which is
+// subsequently received by each viewing client"; subtracting it from the
+// packet receive time yields the video delivery latency (Fig. 5). This file
+// implements that channel as an H.264 SEI user_data_unregistered message.
+
+// seiUserDataUnregistered is the SEI payload type carrying free-form data.
+const seiUserDataUnregistered = 5
+
+// TimestampUUID identifies our NTP-timestamp SEI messages (16 bytes).
+var TimestampUUID = [16]byte{
+	0x50, 0x53, 0x43, 0x50, 0x2d, 0x4e, 0x54, 0x50, // "PSCP-NTP"
+	0x54, 0x53, 0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+}
+
+// ntpEpochOffset is the offset in seconds between the NTP era (1900) and
+// the Unix epoch (1970).
+const ntpEpochOffset = 2208988800
+
+// ToNTP converts a time.Time to the 64-bit NTP timestamp format
+// (32.32 fixed point seconds since 1900).
+func ToNTP(t time.Time) uint64 {
+	secs := uint64(t.Unix()) + ntpEpochOffset
+	frac := uint64(t.Nanosecond()) << 32 / 1e9
+	return secs<<32 | frac
+}
+
+// FromNTP converts a 64-bit NTP timestamp back to a time.Time (UTC).
+func FromNTP(v uint64) time.Time {
+	secs := int64(v>>32) - ntpEpochOffset
+	frac := v & 0xFFFFFFFF
+	nanos := frac * 1e9 >> 32
+	return time.Unix(secs, int64(nanos)).UTC()
+}
+
+// MarshalTimestampSEI builds the SEI NAL unit embedding ts.
+func MarshalTimestampSEI(ts time.Time) NALUnit {
+	payload := make([]byte, 0, 24)
+	payload = append(payload, TimestampUUID[:]...)
+	var ntp [8]byte
+	binary.BigEndian.PutUint64(ntp[:], ToNTP(ts))
+	payload = append(payload, ntp[:]...)
+
+	var rbsp bytes.Buffer
+	rbsp.WriteByte(seiUserDataUnregistered) // payloadType < 255: single byte
+	writeSEISize(&rbsp, len(payload))
+	rbsp.Write(payload)
+	rbsp.WriteByte(0x80) // rbsp_trailing_bits
+	return NALUnit{RefIDC: 0, Type: NALSEI, RBSP: rbsp.Bytes()}
+}
+
+func writeSEISize(buf *bytes.Buffer, n int) {
+	for n >= 255 {
+		buf.WriteByte(255)
+		n -= 255
+	}
+	buf.WriteByte(byte(n))
+}
+
+// ErrNoTimestamp indicates the NAL unit carries no recognised timestamp SEI.
+var ErrNoTimestamp = errors.New("avc: no timestamp SEI payload")
+
+// ParseTimestampSEI extracts the embedded NTP timestamp from a SEI NAL
+// unit produced by MarshalTimestampSEI.
+func ParseTimestampSEI(nal NALUnit) (time.Time, error) {
+	if nal.Type != NALSEI {
+		return time.Time{}, ErrNoTimestamp
+	}
+	data := nal.RBSP
+	for len(data) >= 2 {
+		// payload type
+		pt := 0
+		for len(data) > 0 && data[0] == 255 {
+			pt += 255
+			data = data[1:]
+		}
+		if len(data) == 0 {
+			break
+		}
+		pt += int(data[0])
+		data = data[1:]
+		// payload size
+		sz := 0
+		for len(data) > 0 && data[0] == 255 {
+			sz += 255
+			data = data[1:]
+		}
+		if len(data) == 0 {
+			break
+		}
+		sz += int(data[0])
+		data = data[1:]
+		if sz > len(data) {
+			return time.Time{}, errors.New("avc: truncated SEI payload")
+		}
+		payload := data[:sz]
+		data = data[sz:]
+		if pt == seiUserDataUnregistered && sz >= 24 && bytes.Equal(payload[:16], TimestampUUID[:]) {
+			ntp := binary.BigEndian.Uint64(payload[16:24])
+			return FromNTP(ntp), nil
+		}
+		if len(data) > 0 && data[0] == 0x80 {
+			break // trailing bits reached
+		}
+	}
+	return time.Time{}, ErrNoTimestamp
+}
+
+// FindTimestamp scans a list of NAL units and returns the first embedded
+// NTP timestamp found.
+func FindTimestamp(units []NALUnit) (time.Time, bool) {
+	for _, u := range units {
+		if u.Type != NALSEI {
+			continue
+		}
+		if ts, err := ParseTimestampSEI(u); err == nil {
+			return ts, true
+		}
+	}
+	return time.Time{}, false
+}

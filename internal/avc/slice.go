@@ -1,0 +1,146 @@
+package avc
+
+import (
+	"fmt"
+
+	"periscope/internal/bits"
+)
+
+// SliceType is the H.264 slice type (values 0-4; the encoder uses the
+// non-repeated range).
+type SliceType uint32
+
+// Slice types.
+const (
+	SliceP SliceType = 0
+	SliceB SliceType = 1
+	SliceI SliceType = 2
+)
+
+func (t SliceType) String() string {
+	switch t % 5 {
+	case SliceP:
+		return "P"
+	case SliceB:
+		return "B"
+	case SliceI:
+		return "I"
+	default:
+		return fmt.Sprintf("slice(%d)", uint32(t))
+	}
+}
+
+// SliceHeader carries the fields of interest for the quality analysis: the
+// slice type (frame-pattern classification, §5.2) and the QP (Fig. 6(b)).
+type SliceHeader struct {
+	Type     SliceType
+	FrameNum uint32
+	IDR      bool
+	IDRPicID uint32
+	QPDelta  int32
+}
+
+// QP returns the slice quantization parameter given the PPS it references.
+func (h SliceHeader) QP(pps PPS) int32 { return pps.PicInitQP + h.QPDelta }
+
+// MarshalSlice encodes a slice NAL unit consisting of the slice header
+// (written with the restricted syntax produced by the synthetic encoder:
+// CAVLC, no reference modifications, no weighted prediction) followed by
+// payload bytes standing in for entropy-coded macroblock data.
+func MarshalSlice(h SliceHeader, sps SPS, payload []byte) NALUnit {
+	w := bits.NewWriter(16 + len(payload))
+	w.WriteUE(0)              // first_mb_in_slice
+	w.WriteUE(uint32(h.Type)) // slice_type
+	w.WriteUE(0)              // pic_parameter_set_id
+	w.WriteBits(uint64(h.FrameNum&(1<<sps.Log2MaxFrameNum-1)), uint(sps.Log2MaxFrameNum))
+	if h.IDR {
+		w.WriteUE(h.IDRPicID)
+	}
+	// pic_order_cnt_type == 2: no POC syntax in the slice header.
+	switch h.Type % 5 {
+	case SliceB:
+		w.WriteBit(1) // direct_spatial_mv_pred_flag
+		w.WriteBit(0) // num_ref_idx_active_override_flag
+		w.WriteBit(0) // ref_pic_list_modification_flag_l0
+		w.WriteBit(0) // ref_pic_list_modification_flag_l1
+	case SliceP:
+		w.WriteBit(0) // num_ref_idx_active_override_flag
+		w.WriteBit(0) // ref_pic_list_modification_flag_l0
+	}
+	// dec_ref_pic_marking (nal_ref_idc != 0 for reference slices).
+	if h.IDR {
+		w.WriteBit(0) // no_output_of_prior_pics_flag
+		w.WriteBit(0) // long_term_reference_flag
+	} else if h.Type%5 != SliceB {
+		w.WriteBit(0) // adaptive_ref_pic_marking_mode_flag
+	}
+	w.WriteSE(h.QPDelta) // slice_qp_delta
+	// deblocking filter fields absent (PPS control flag is 0).
+	w.ByteAlign()
+	rbsp := append(w.Bytes(), payload...)
+
+	typ := NALSliceNonIDR
+	refIDC := uint8(2)
+	if h.IDR {
+		typ = NALSliceIDR
+		refIDC = 3
+	} else if h.Type%5 == SliceB {
+		refIDC = 0 // non-reference B frames
+	}
+	return NALUnit{RefIDC: refIDC, Type: typ, RBSP: rbsp}
+}
+
+// ParseSliceHeader decodes the restricted slice-header syntax written by
+// MarshalSlice. nal must be a slice NAL unit.
+func ParseSliceHeader(nal NALUnit, sps SPS) (SliceHeader, error) {
+	if nal.Type != NALSliceIDR && nal.Type != NALSliceNonIDR {
+		return SliceHeader{}, fmt.Errorf("avc: NAL type %v is not a slice", nal.Type)
+	}
+	r := bits.NewReader(nal.RBSP)
+	var h SliceHeader
+	h.IDR = nal.Type == NALSliceIDR
+	if _, err := r.ReadUE(); err != nil { // first_mb_in_slice
+		return h, err
+	}
+	st, err := r.ReadUE()
+	if err != nil {
+		return h, err
+	}
+	h.Type = SliceType(st)
+	if _, err := r.ReadUE(); err != nil { // pic_parameter_set_id
+		return h, err
+	}
+	fn, err := r.ReadBits(uint(sps.Log2MaxFrameNum))
+	if err != nil {
+		return h, err
+	}
+	h.FrameNum = uint32(fn)
+	if h.IDR {
+		if h.IDRPicID, err = r.ReadUE(); err != nil {
+			return h, err
+		}
+	}
+	switch h.Type % 5 {
+	case SliceB:
+		if _, err := r.ReadBits(4); err != nil {
+			return h, err
+		}
+	case SliceP:
+		if _, err := r.ReadBits(2); err != nil {
+			return h, err
+		}
+	}
+	if h.IDR {
+		if _, err := r.ReadBits(2); err != nil {
+			return h, err
+		}
+	} else if h.Type%5 != SliceB {
+		if _, err := r.ReadBit(); err != nil {
+			return h, err
+		}
+	}
+	if h.QPDelta, err = r.ReadSE(); err != nil {
+		return h, err
+	}
+	return h, nil
+}

@@ -1,0 +1,192 @@
+// Package bits implements MSB-first bit-level readers and writers and the
+// Exp-Golomb variable-length codes (ue(v)/se(v)) used throughout H.264/AVC
+// syntax structures such as SPS, PPS and slice headers.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfBits is returned when a read requires more bits than remain.
+var ErrOutOfBits = errors.New("bits: out of bits")
+
+// Writer accumulates bits MSB first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur uint // number of bits currently buffered in cur (0..7)
+}
+
+// NewWriter returns a Writer with capacity pre-allocated for n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, MSB first. n must be <= 64.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits n=%d > 64", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// WriteUE appends v encoded as an unsigned Exp-Golomb code (ue(v)).
+func (w *Writer) WriteUE(v uint32) {
+	// codeNum = v; write (leadingZeroBits) zeros, then the (leadingZeroBits+1)-bit
+	// binary representation of codeNum+1.
+	x := uint64(v) + 1
+	n := bitLen(x)
+	for i := uint(0); i < n-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, n)
+}
+
+// WriteSE appends v encoded as a signed Exp-Golomb code (se(v)).
+func (w *Writer) WriteSE(v int32) {
+	// Mapping per H.264 9.1.1: v>0 -> 2v-1, v<=0 -> -2v.
+	var code uint32
+	if v > 0 {
+		code = uint32(2*v - 1)
+	} else {
+		code = uint32(-2 * v)
+	}
+	w.WriteUE(code)
+}
+
+// ByteAlign pads the current partial byte with zero bits, if any.
+func (w *Writer) ByteAlign() {
+	for w.nCur != 0 {
+		w.WriteBit(0)
+	}
+}
+
+// TrailingBits writes the RBSP trailing bits: a 1 bit then zero padding to a
+// byte boundary, per H.264 7.3.2.11.
+func (w *Writer) TrailingBits() {
+	w.WriteBit(1)
+	w.ByteAlign()
+}
+
+// Len returns the number of whole bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes returns the accumulated bytes. The writer must be byte-aligned.
+func (w *Writer) Bytes() []byte {
+	if w.nCur != 0 {
+		panic("bits: Bytes called on unaligned writer")
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos uint // bit position from the start
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= uint(len(r.buf))*8 {
+		return 0, ErrOutOfBits
+	}
+	b := r.buf[r.pos>>3]
+	bit := uint(b>>(7-r.pos&7)) & 1
+	r.pos++
+	return bit, nil
+}
+
+// ReadBits returns the next n bits as an unsigned integer, MSB first.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, fmt.Errorf("bits: ReadBits n=%d > 64", n)
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(bit)
+	}
+	return v, nil
+}
+
+// ReadUE reads an unsigned Exp-Golomb code.
+func (r *Reader) ReadUE() (uint32, error) {
+	var zeros uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 32 {
+			return 0, errors.New("bits: ue(v) code too long")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(1<<zeros + rest - 1), nil
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func (r *Reader) ReadSE() (int32, error) {
+	code, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	// Inverse of the WriteSE mapping.
+	if code%2 == 1 {
+		return int32(code/2 + 1), nil
+	}
+	return -int32(code / 2), nil
+}
+
+// ByteAlign advances the position to the next byte boundary.
+func (r *Reader) ByteAlign() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+	}
+}
+
+// BitsRemaining reports how many bits are left.
+func (r *Reader) BitsRemaining() int { return len(r.buf)*8 - int(r.pos) }
+
+// BitPos returns the current absolute bit position.
+func (r *Reader) BitPos() uint { return r.pos }
+
+// bitLen returns the number of bits needed to represent x (x >= 1).
+func bitLen(x uint64) uint {
+	var n uint
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}

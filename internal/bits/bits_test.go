@@ -1,0 +1,179 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b0110, 4)
+	w.WriteBit(1)
+	w.WriteBits(0xAB, 8)
+	b := w.Bytes()
+	if len(b) != 2 {
+		t.Fatalf("len = %d, want 2", len(b))
+	}
+	r := NewReader(b)
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Errorf("first 3 bits = %b, want 101", v)
+	}
+	if v, _ := r.ReadBits(4); v != 0b0110 {
+		t.Errorf("next 4 bits = %b, want 0110", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Errorf("bit = %d, want 1", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xAB {
+		t.Errorf("byte = %x, want ab", v)
+	}
+}
+
+func TestUEKnownCodes(t *testing.T) {
+	// Known Exp-Golomb codewords from the H.264 spec, Table 9-1.
+	cases := []struct {
+		v    uint32
+		bits string
+	}{
+		{0, "1"},
+		{1, "010"},
+		{2, "011"},
+		{3, "00100"},
+		{4, "00101"},
+		{5, "00110"},
+		{6, "00111"},
+		{7, "0001000"},
+		{8, "0001001"},
+	}
+	for _, c := range cases {
+		w := &Writer{}
+		w.WriteUE(c.v)
+		got := bitString(w)
+		if got != c.bits {
+			t.Errorf("ue(%d) = %s, want %s", c.v, got, c.bits)
+		}
+	}
+}
+
+func TestSEKnownCodes(t *testing.T) {
+	// se(v) mapping per Table 9-3: 0->0, 1->1, -1->2, 2->3, -2->4 ...
+	cases := []struct {
+		v    int32
+		code uint32
+	}{{0, 0}, {1, 1}, {-1, 2}, {2, 3}, {-2, 4}, {3, 5}, {-3, 6}}
+	for _, c := range cases {
+		w := &Writer{}
+		w.WriteSE(c.v)
+		w.ByteAlign()
+		r := NewReader(w.Bytes())
+		code, err := r.ReadUE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != c.code {
+			t.Errorf("se(%d) codeNum = %d, want %d", c.v, code, c.code)
+		}
+	}
+}
+
+func TestUERoundTripProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		w := &Writer{}
+		for _, v := range vals {
+			w.WriteUE(v % (1 << 30))
+		}
+		w.TrailingBits()
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadUE()
+			if err != nil || got != v%(1<<30) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSERoundTripProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		w := &Writer{}
+		for _, v := range vals {
+			w.WriteSE(v % (1 << 28))
+		}
+		w.TrailingBits()
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadSE()
+			if err != nil || got != v%(1<<28) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsRoundTripProperty(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		n64 := uint(n%64) + 1
+		masked := v & (1<<n64 - 1)
+		w := &Writer{}
+		w.WriteBits(masked, n64)
+		w.ByteAlign()
+		r := NewReader(w.Bytes())
+		got, err := r.ReadBits(n64)
+		return err == nil && got == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderOutOfBits(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrOutOfBits {
+		t.Errorf("err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestByteAlign(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x00})
+	r.ReadBits(3)
+	r.ByteAlign()
+	if r.BitPos() != 8 {
+		t.Errorf("pos = %d, want 8", r.BitPos())
+	}
+	r.ByteAlign() // already aligned: no-op
+	if r.BitPos() != 8 {
+		t.Errorf("pos after second align = %d, want 8", r.BitPos())
+	}
+}
+
+func TestTrailingBits(t *testing.T) {
+	w := &Writer{}
+	w.WriteBits(0b10, 2)
+	w.TrailingBits()
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0b10100000 {
+		t.Errorf("bytes = %08b, want 10100000", b[0])
+	}
+}
+
+func bitString(w *Writer) string {
+	w2 := *w
+	w2.ByteAlign()
+	n := w.BitLen()
+	out := make([]byte, 0, n)
+	r := NewReader(w2.Bytes())
+	for i := 0; i < n; i++ {
+		b, _ := r.ReadBit()
+		out = append(out, byte('0'+b))
+	}
+	return string(out)
+}

@@ -1,0 +1,242 @@
+package broadcastmodel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"periscope/internal/geo"
+)
+
+func testPop(t *testing.T, n int) *Population {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TargetConcurrent = n
+	return New(cfg, time.Date(2016, 4, 1, 12, 0, 0, 0, time.UTC))
+}
+
+func TestPrefillSize(t *testing.T) {
+	p := testPop(t, 500)
+	if got := p.LiveCount(); got != 500 {
+		t.Errorf("LiveCount = %d, want 500", got)
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	p := testPop(t, 500)
+	p.Advance(2 * time.Hour)
+	got := p.LiveCount()
+	if got < 300 || got > 800 {
+		t.Errorf("LiveCount after 2h = %d, want ~500", got)
+	}
+}
+
+func TestDurationDistribution(t *testing.T) {
+	p := testPop(t, 800)
+	p.Advance(6 * time.Hour)
+	ended := p.Ended()
+	if len(ended) < 1000 {
+		t.Fatalf("only %d ended broadcasts", len(ended))
+	}
+	var durs []float64
+	for _, b := range ended {
+		durs = append(durs, b.Duration().Minutes())
+	}
+	sort.Float64s(durs)
+	median := durs[len(durs)/2]
+	// "roughly half are shorter than 4 minutes" — the overall median mixes
+	// the short zero-viewer class in, so expect ~3-4 min.
+	if median < 1.5 || median > 6 {
+		t.Errorf("median duration = %.1f min, want ~4", median)
+	}
+	// Most broadcasts between 1 and 10 minutes.
+	in1to10 := 0
+	for _, d := range durs {
+		if d >= 1 && d <= 10 {
+			in1to10++
+		}
+	}
+	if frac := float64(in1to10) / float64(len(durs)); frac < 0.5 {
+		t.Errorf("1-10min fraction = %.2f, want majority", frac)
+	}
+}
+
+func TestViewerDistribution(t *testing.T) {
+	p := testPop(t, 3000)
+	live := p.Live()
+	now := p.Now()
+	zero, under20, total := 0, 0, 0
+	maxV := 0
+	for _, b := range live {
+		// Use the base level as the "average viewers" proxy.
+		v := b.ViewersAt(now.Add(5 * time.Minute / 2))
+		if b.BaseViewers == 0 {
+			zero++
+		}
+		if b.BaseViewers < 20 {
+			under20++
+		}
+		if v > maxV {
+			maxV = v
+		}
+		total++
+	}
+	zf := float64(zero) / float64(total)
+	if zf < 0.08 || zf > 0.25 {
+		t.Errorf("zero-viewer fraction = %.2f, want >0.10", zf)
+	}
+	if uf := float64(under20) / float64(total); uf < 0.80 {
+		t.Errorf("under-20 fraction = %.2f, want >0.80 (paper: >0.90)", uf)
+	}
+}
+
+func TestSomePopularBroadcastsExist(t *testing.T) {
+	p := testPop(t, 5000)
+	count100 := 0
+	for _, b := range p.Live() {
+		if b.BaseViewers >= 100 {
+			count100++
+		}
+	}
+	if count100 == 0 {
+		t.Error("no broadcasts above the 100-viewer HLS threshold in 5000")
+	}
+	if float64(count100)/5000 > 0.1 {
+		t.Errorf("too many popular broadcasts: %d/5000", count100)
+	}
+}
+
+func TestZeroViewerShorter(t *testing.T) {
+	p := testPop(t, 800)
+	p.Advance(8 * time.Hour)
+	var zeroSum, zeroN, viewSum, viewN float64
+	for _, b := range p.Ended() {
+		if b.BaseViewers == 0 {
+			zeroSum += b.Duration().Minutes()
+			zeroN++
+		} else {
+			viewSum += b.Duration().Minutes()
+			viewN++
+		}
+	}
+	if zeroN == 0 || viewN == 0 {
+		t.Fatal("missing classes in ended set")
+	}
+	zeroMean := zeroSum / zeroN
+	viewMean := viewSum / viewN
+	if zeroMean >= viewMean {
+		t.Errorf("zero-viewer mean %.1f min !< viewed mean %.1f min", zeroMean, viewMean)
+	}
+}
+
+func TestZeroViewerReplayMostlyUnavailable(t *testing.T) {
+	p := testPop(t, 4000)
+	noReplay, total := 0, 0
+	for _, b := range p.Live() {
+		if b.BaseViewers != 0 {
+			continue
+		}
+		total++
+		if !b.AvailableForReplay {
+			noReplay++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no zero-viewer broadcasts")
+	}
+	if frac := float64(noReplay) / float64(total); frac < 0.8 {
+		t.Errorf("unavailable-for-replay fraction = %.2f, want > 0.8", frac)
+	}
+}
+
+func TestViewersRampAndBounds(t *testing.T) {
+	b := &Broadcast{
+		Start:       time.Unix(0, 0),
+		End:         time.Unix(3600, 0),
+		BaseViewers: 50,
+		Seed:        7,
+	}
+	if v := b.ViewersAt(time.Unix(-5, 0)); v != 0 {
+		t.Errorf("viewers before start = %d", v)
+	}
+	early := b.ViewersAt(time.Unix(10, 0))
+	late := b.ViewersAt(time.Unix(600, 0))
+	if early >= late {
+		t.Errorf("ramp broken: %d at 10s vs %d at 600s", early, late)
+	}
+	if v := b.ViewersAt(time.Unix(4000, 0)); v != 0 {
+		t.Errorf("viewers after end = %d", v)
+	}
+}
+
+func TestInAreaFiltersHidden(t *testing.T) {
+	p := testPop(t, 2000)
+	world := geo.World()
+	visible := p.InArea(world)
+	for _, b := range visible {
+		if b.Private || !b.LocationDisclosed {
+			t.Fatal("hidden broadcast leaked into map results")
+		}
+	}
+	if len(visible) == 0 || len(visible) >= 2000 {
+		t.Errorf("visible = %d of 2000", len(visible))
+	}
+	// Ordered by MapRank.
+	for i := 1; i < len(visible); i++ {
+		if visible[i].MapRank < visible[i-1].MapRank {
+			t.Fatal("InArea not ordered by MapRank")
+		}
+	}
+}
+
+func TestRandomTeleport(t *testing.T) {
+	p := testPop(t, 300)
+	rng := rand.New(rand.NewSource(9))
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		b := p.Random(rng)
+		if b == nil {
+			t.Fatal("Random returned nil with live broadcasts present")
+		}
+		if b.Private {
+			t.Fatal("teleport landed on a private broadcast")
+		}
+		seen[b.ID] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("teleport diversity too low: %d distinct", len(seen))
+	}
+}
+
+func TestRegionalPlacement(t *testing.T) {
+	p := testPop(t, 3000)
+	regions := geo.Regions()
+	counts := map[string]int{}
+	for _, b := range p.Live() {
+		counts[b.Region]++
+		// The location must lie inside the named region.
+		for _, r := range regions {
+			if r.Name == b.Region && !r.Bounds.Contains(b.Location) {
+				t.Fatalf("broadcast outside its region %s: %+v", b.Region, b.Location)
+			}
+		}
+	}
+	if len(counts) < 6 {
+		t.Errorf("only %d regions populated", len(counts))
+	}
+}
+
+func TestIDsUniqueAndFormatted(t *testing.T) {
+	p := testPop(t, 2000)
+	seen := map[string]bool{}
+	for _, b := range p.Live() {
+		if len(b.ID) != 13 {
+			t.Fatalf("ID %q not 13 chars", b.ID)
+		}
+		if seen[b.ID] {
+			t.Fatalf("duplicate ID %q", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}

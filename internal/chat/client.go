@@ -1,0 +1,141 @@
+package chat
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"periscope/internal/websocket"
+)
+
+// ClientConfig configures the viewer-side chat client.
+type ClientConfig struct {
+	// ChatURL is the ws:// URL of the room.
+	ChatURL string
+	// AvatarBaseURL is the http:// base for profile pictures.
+	AvatarBaseURL string
+	// DisplayChat mirrors the app's chat toggle. When false, JSON messages
+	// still arrive over the WebSocket (as the paper observed) but no
+	// avatars are downloaded. When true, every displayed message with an
+	// avatar URL triggers a download — uncached.
+	DisplayChat bool
+	// Dial optionally routes the WebSocket through a shaped connection.
+	Dial func(network, addr string) (net.Conn, error)
+	// HTTPClient fetches avatars (may be bandwidth-shaped).
+	HTTPClient *http.Client
+}
+
+// ClientStats summarises the chat client's traffic.
+type ClientStats struct {
+	MessagesReceived int
+	MessagesShown    int
+	AvatarDownloads  int
+	AvatarBytes      int64
+	WSBytes          int64
+	// DuplicateAvatarDownloads counts re-downloads of a user's picture —
+	// direct evidence of the missing cache.
+	DuplicateAvatarDownloads int
+}
+
+// Client attaches to a chat room and mimics the app's traffic behaviour.
+type Client struct {
+	cfg  ClientConfig
+	conn *websocket.Conn
+	http *http.Client
+
+	mu    sync.Mutex
+	stats ClientStats
+	seen  map[string]bool
+	done  chan struct{}
+}
+
+// Join connects to the room and starts consuming messages.
+func Join(cfg ClientConfig) (*Client, error) {
+	conn, err := websocket.Dial(cfg.ChatURL, cfg.Dial)
+	if err != nil {
+		return nil, err
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{cfg: cfg, conn: conn, http: hc, seen: map[string]bool{}, done: make(chan struct{})}
+	go c.loop()
+	return c, nil
+}
+
+func (c *Client) loop() {
+	defer close(c.done)
+	for {
+		_, data, err := c.conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		var m Message
+		if json.Unmarshal(data, &m) != nil {
+			continue
+		}
+		c.mu.Lock()
+		c.stats.MessagesReceived++
+		c.stats.WSBytes = c.conn.BytesRead
+		display := c.cfg.DisplayChat
+		if display {
+			c.stats.MessagesShown++
+		}
+		c.mu.Unlock()
+		if display && m.AvatarURL != "" {
+			c.fetchAvatar(m.AvatarURL, m.User)
+		}
+	}
+}
+
+// fetchAvatar downloads a profile picture without any caching.
+func (c *Client) fetchAvatar(url, user string) {
+	resp, err := c.http.Get(c.cfg.AvatarBaseURL + url)
+	if err != nil {
+		return
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.mu.Lock()
+	c.stats.AvatarDownloads++
+	c.stats.AvatarBytes += n
+	if c.seen[user] {
+		c.stats.DuplicateAvatarDownloads++
+	}
+	c.seen[user] = true
+	c.mu.Unlock()
+}
+
+// Send posts a chat message (ignored by the server if the room was full
+// when this client joined).
+func (c *Client) Send(text string) error {
+	m := Message{User: "measurement-client", Text: text, SentUnix: time.Now().UnixNano()}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return c.conn.WriteMessage(websocket.OpText, data)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.WSBytes = c.conn.BytesRead
+	return s
+}
+
+// Close detaches from the room.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	select {
+	case <-c.done:
+	case <-time.After(time.Second):
+	}
+	return err
+}

@@ -1,0 +1,188 @@
+// Package crawler reimplements the §4 measurement apparatus: a deep crawl
+// that recursively zooms the world map (each area split into four
+// quadrants) until no substantially new broadcasts surface, and a targeted
+// crawl in which four sessions (distinct logins, distinct rate-limit
+// buckets) repeatedly query the most active areas to track broadcast
+// lifetimes and viewership. Rate limiting (HTTP 429) forces request
+// pacing, exactly as the paper describes; pacing advances the virtual
+// population clock through the Pacer hook, so a ten-hour crawl simulates
+// in milliseconds.
+package crawler
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"periscope/internal/api"
+	"periscope/internal/geo"
+)
+
+// Pacer advances time by d between requests: in experiments it advances
+// the population's virtual clock; against a live service it would sleep.
+type Pacer func(d time.Duration)
+
+// DeepConfig tunes a deep crawl.
+type DeepConfig struct {
+	// Root is the starting area (the whole world by default).
+	Root geo.Rect
+	// MaxDepth bounds the quadtree recursion.
+	MaxDepth int
+	// SubdivideThreshold: recurse into an area's quadrants when the area
+	// returned at least this many broadcasts (the visibility cap means a
+	// full response hides more underneath).
+	SubdivideThreshold int
+	// Pace is the inter-request delay respected to stay under the rate
+	// limit.
+	Pace time.Duration
+	// BackoffOn429 is the extra wait after a Too Many Requests response.
+	BackoffOn429 time.Duration
+}
+
+// DefaultDeepConfig matches the study's crawler behaviour.
+func DefaultDeepConfig() DeepConfig {
+	return DeepConfig{
+		Root:               geo.World(),
+		MaxDepth:           6,
+		SubdivideThreshold: 8,
+		Pace:               600 * time.Millisecond,
+		BackoffOn429:       3 * time.Second,
+	}
+}
+
+// AreaResult is one queried area with its discovery count.
+type AreaResult struct {
+	Area geo.Rect
+	// Found is the number of broadcasts returned for the area.
+	Found int
+	// NewFound is how many had not been seen earlier in this crawl.
+	NewFound int
+	Depth    int
+}
+
+// DeepResult is the outcome of a deep crawl.
+type DeepResult struct {
+	Areas []AreaResult
+	// Cumulative[i] is the distinct-broadcast count after i+1 requests
+	// (Fig. 1's y-axis).
+	Cumulative []int
+	Broadcasts map[string]api.BroadcastDesc
+	// Duration is the crawl's span in (virtual) time.
+	Duration time.Duration
+	// Requests counts API calls, RateLimited the 429 responses.
+	Requests    int
+	RateLimited int
+}
+
+// TotalFound returns the number of distinct broadcasts discovered.
+func (r *DeepResult) TotalFound() int { return len(r.Broadcasts) }
+
+// TopAreaShare returns the fraction of discovered broadcasts contained in
+// the top `frac` fraction of leaf areas (by per-area count). The paper
+// reports that half of the areas hold at least 80% of the broadcasts.
+func (r *DeepResult) TopAreaShare(frac float64) float64 {
+	counts := make([]int, 0, len(r.Areas))
+	total := 0
+	for _, a := range r.Areas {
+		counts = append(counts, a.NewFound)
+		total += a.NewFound
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	n := int(float64(len(counts)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	top := 0
+	for _, c := range counts[:n] {
+		top += c
+	}
+	return float64(top) / float64(total)
+}
+
+// TopAreas returns the k leaf areas with the highest discovery counts, the
+// input to a targeted crawl.
+func (r *DeepResult) TopAreas(k int) []geo.Rect {
+	areas := append([]AreaResult(nil), r.Areas...)
+	sort.Slice(areas, func(i, j int) bool { return areas[i].NewFound > areas[j].NewFound })
+	if k > len(areas) {
+		k = len(areas)
+	}
+	out := make([]geo.Rect, 0, k)
+	for _, a := range areas[:k] {
+		out = append(out, a.Area)
+	}
+	return out
+}
+
+// DeepCrawl explores the map breadth-first with recursive subdivision.
+func DeepCrawl(client *api.Client, cfg DeepConfig, pace Pacer) (*DeepResult, error) {
+	if !cfg.Root.Valid() {
+		cfg.Root = geo.World()
+	}
+	res := &DeepResult{Broadcasts: map[string]api.BroadcastDesc{}}
+	type workItem struct {
+		area  geo.Rect
+		depth int
+	}
+	queue := []workItem{{cfg.Root, 0}}
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		resp, err := queryArea(client, item.area, cfg, pace, res)
+		if err != nil {
+			return res, err
+		}
+		newFound := 0
+		for _, d := range resp.Broadcasts {
+			if _, ok := res.Broadcasts[d.ID]; !ok {
+				res.Broadcasts[d.ID] = d
+				newFound++
+			}
+		}
+		res.Areas = append(res.Areas, AreaResult{
+			Area: item.area, Found: len(resp.Broadcasts), NewFound: newFound, Depth: item.depth,
+		})
+		res.Cumulative = append(res.Cumulative, len(res.Broadcasts))
+		// Zoom in while responses stay rich: a capped response means the
+		// area hides more broadcasts than it shows.
+		if item.depth < cfg.MaxDepth && len(resp.Broadcasts) >= cfg.SubdivideThreshold {
+			for _, q := range item.area.Quadrants() {
+				queue = append(queue, workItem{q, item.depth + 1})
+			}
+		}
+	}
+	res.Duration = time.Duration(res.Requests) * cfg.Pace
+	return res, nil
+}
+
+// queryArea issues one mapGeoBroadcastFeed request with pacing and 429
+// backoff.
+func queryArea(client *api.Client, area geo.Rect, cfg DeepConfig, pace Pacer, res *DeepResult) (api.MapGeoBroadcastFeedResponse, error) {
+	req := api.MapGeoBroadcastFeedRequest{
+		P1Lat: area.South, P1Lng: area.West,
+		P2Lat: area.North, P2Lng: area.East,
+		IncludeReplay: false, // live broadcasts only, like the inline script
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		if pace != nil {
+			pace(cfg.Pace)
+		}
+		res.Requests++
+		resp, err := client.MapGeoBroadcastFeed(req)
+		if err == nil {
+			return resp, nil
+		}
+		if errors.As(err, &api.ErrRateLimited{}) {
+			res.RateLimited++
+			if pace != nil {
+				pace(cfg.BackoffOn429)
+			}
+			continue
+		}
+		return resp, err
+	}
+	return api.MapGeoBroadcastFeedResponse{}, errors.New("crawler: persistent rate limiting")
+}

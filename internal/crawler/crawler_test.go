@@ -1,0 +1,172 @@
+package crawler
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"periscope/internal/api"
+	"periscope/internal/broadcastmodel"
+)
+
+// testRig wires a population + API server + crawler clients with a virtual
+// pacer.
+type testRig struct {
+	pop     *broadcastmodel.Population
+	srv     *api.Server
+	hs      *httptest.Server
+	clients []*api.Client
+}
+
+func newRig(t *testing.T, concurrent int, rateLimit float64) *testRig {
+	t.Helper()
+	pc := broadcastmodel.DefaultConfig()
+	pc.TargetConcurrent = concurrent
+	pop := broadcastmodel.New(pc, time.Date(2016, 4, 2, 10, 0, 0, 0, time.UTC))
+	scfg := api.DefaultServerConfig()
+	scfg.RateLimit = rateLimit
+	srv := api.NewServer(pop, nil, scfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	rig := &testRig{pop: pop, srv: srv, hs: hs}
+	for i := 0; i < 4; i++ {
+		rig.clients = append(rig.clients, api.NewClient(hs.URL, "crawler-"+string(rune('a'+i)), nil))
+	}
+	return rig
+}
+
+func (r *testRig) pacer() Pacer {
+	return func(d time.Duration) { r.pop.Advance(d) }
+}
+
+func TestDeepCrawlFindsMostBroadcasts(t *testing.T) {
+	rig := newRig(t, 600, 0)
+	res, err := DeepCrawl(rig.clients[0], DefaultDeepConfig(), rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Public + disclosed is ~85% of the population; the crawl churns the
+	// population while running, so accept a broad band around it.
+	found := res.TotalFound()
+	if found < 300 {
+		t.Errorf("deep crawl found only %d of ~510 visible", found)
+	}
+	if len(res.Cumulative) != len(res.Areas) {
+		t.Fatal("cumulative/areas length mismatch")
+	}
+	// Cumulative curve must be non-decreasing and saturating.
+	for i := 1; i < len(res.Cumulative); i++ {
+		if res.Cumulative[i] < res.Cumulative[i-1] {
+			t.Fatal("cumulative curve decreased")
+		}
+	}
+	firstHalf := res.Cumulative[len(res.Cumulative)/2]
+	if float64(firstHalf) < 0.5*float64(found) {
+		t.Errorf("first half of requests found %d of %d; curve not front-loaded", firstHalf, found)
+	}
+}
+
+func TestDeepCrawlZoomDiscoversMore(t *testing.T) {
+	rig := newRig(t, 600, 0)
+	res, err := DeepCrawl(rig.clients[0], DefaultDeepConfig(), rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The world query alone is capped at 50; recursion must beat it.
+	if res.Cumulative[0] >= res.TotalFound() {
+		t.Error("zooming discovered nothing beyond the root query")
+	}
+	if res.Cumulative[0] > 50 {
+		t.Errorf("root query returned %d > visibility cap", res.Cumulative[0])
+	}
+}
+
+func TestDeepCrawlSpatialConcentration(t *testing.T) {
+	rig := newRig(t, 800, 0)
+	res, err := DeepCrawl(rig.clients[0], DefaultDeepConfig(), rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1(b): half of the areas contain at least 80% of broadcasts.
+	share := res.TopAreaShare(0.5)
+	if share < 0.75 {
+		t.Errorf("top-half area share = %.2f, paper reports >= 0.80", share)
+	}
+}
+
+func TestDeepCrawlPacedByRateLimit(t *testing.T) {
+	rig := newRig(t, 400, 2) // 2 rps server limit
+	cfg := DefaultDeepConfig()
+	cfg.Pace = 100 * time.Millisecond // crawl too fast on purpose
+	res, err := DeepCrawl(rig.clients[0], cfg, rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RateLimited == 0 {
+		t.Error("aggressive crawl never saw a 429")
+	}
+	if res.TotalFound() == 0 {
+		t.Error("backoff failed to recover from rate limiting")
+	}
+}
+
+func TestTargetedCrawlTracksLifetimes(t *testing.T) {
+	rig := newRig(t, 600, 0)
+	deep, err := DeepCrawl(rig.clients[0], DefaultDeepConfig(), rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := DefaultTargetedConfig(deep.TopAreas(64))
+	tcfg.CampaignDur = 2 * time.Hour
+	res, err := TargetedCrawl(rig.clients, tcfg, rig.pop.Now, rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) < 200 {
+		t.Fatalf("tracked only %d broadcasts", len(res.Records))
+	}
+	completed := res.CompletedRecords()
+	if len(completed) < 50 {
+		t.Fatalf("only %d completed broadcasts in 2h campaign", len(completed))
+	}
+	withViewers := 0
+	for _, rec := range completed {
+		if rec.Duration() <= 0 {
+			t.Fatalf("broadcast %s has non-positive duration %v", rec.ID, rec.Duration())
+		}
+		if len(rec.ViewerSamples) > 0 {
+			withViewers++
+		}
+	}
+	if withViewers == 0 {
+		t.Error("no viewer information harvested")
+	}
+}
+
+func TestTargetedCrawlRoundDuration(t *testing.T) {
+	// 64 areas over 4 crawlers at 0.7 s pace = 16 slots ~ 11s sweep plus
+	// viewer harvesting; the paper reports ~50 s rounds with its pacing.
+	rig := newRig(t, 600, 0)
+	deep, err := DeepCrawl(rig.clients[0], DefaultDeepConfig(), rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := DefaultTargetedConfig(deep.TopAreas(64))
+	tcfg.CampaignDur = 30 * time.Minute
+	res, err := TargetedCrawl(rig.clients, tcfg, rig.pop.Now, rig.pacer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundDuration <= 0 || res.RoundDuration > 3*time.Minute {
+		t.Errorf("round duration = %v", res.RoundDuration)
+	}
+	if res.Rounds < 5 {
+		t.Errorf("only %d rounds in 30 virtual minutes", res.Rounds)
+	}
+}
+
+func TestTargetedCrawlNoClients(t *testing.T) {
+	if _, err := TargetedCrawl(nil, TargetedConfig{}, time.Now, func(time.Duration) {}); err == nil {
+		t.Error("want error with no clients")
+	}
+}

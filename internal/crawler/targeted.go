@@ -1,0 +1,192 @@
+package crawler
+
+import (
+	"errors"
+	"time"
+
+	"periscope/internal/api"
+	"periscope/internal/geo"
+)
+
+// TrackRecord accumulates what the targeted crawl learns about one
+// broadcast.
+type TrackRecord struct {
+	ID        string
+	Desc      api.BroadcastDesc
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// ViewerSamples are the n_watching values harvested via getBroadcasts.
+	ViewerSamples []int
+	// StartTime is the broadcast's own created_at.
+	StartTime time.Time
+}
+
+// Duration estimates the broadcast duration as the paper does: start time
+// (from the description) to the last moment the crawler saw it live.
+func (tr *TrackRecord) Duration() time.Duration {
+	return tr.LastSeen.Sub(tr.StartTime)
+}
+
+// AvgViewers is the mean of the harvested samples.
+func (tr *TrackRecord) AvgViewers() float64 {
+	if len(tr.ViewerSamples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range tr.ViewerSamples {
+		sum += v
+	}
+	return float64(sum) / float64(len(tr.ViewerSamples))
+}
+
+// TargetedConfig tunes a targeted crawl.
+type TargetedConfig struct {
+	// Areas are the active areas selected from deep crawls (64 in §4).
+	Areas []geo.Rect
+	// Crawlers is the number of parallel sessions the areas are split
+	// across (4 in §4, each with its own login).
+	Crawlers int
+	// CampaignDur is the total tracked span (4-10 h in §4).
+	CampaignDur time.Duration
+	// Pace is the inter-request delay per crawler.
+	Pace time.Duration
+	// ViewerBatch caps the ids per getBroadcasts request.
+	ViewerBatch int
+}
+
+// DefaultTargetedConfig mirrors the study: 64 areas over 4 crawlers.
+func DefaultTargetedConfig(areas []geo.Rect) TargetedConfig {
+	return TargetedConfig{
+		Areas:       areas,
+		Crawlers:    4,
+		CampaignDur: 4 * time.Hour,
+		Pace:        700 * time.Millisecond,
+		ViewerBatch: 50,
+	}
+}
+
+// TargetedResult is the tracked-broadcast dataset.
+type TargetedResult struct {
+	Records map[string]*TrackRecord
+	// Rounds counts completed sweeps over all areas.
+	Rounds int
+	// RoundDuration is the (virtual) time one sweep took — about 50 s in
+	// the study.
+	RoundDuration time.Duration
+	Requests      int
+	RateLimited   int
+	// End is the crawl's final virtual time, needed to apply the paper's
+	// "must have ended during the crawl" filter.
+	End time.Time
+}
+
+// CompletedRecords returns broadcasts whose end was observed during the
+// crawl: not seen in the final 60 s, per the paper's filter.
+func (tr *TargetedResult) CompletedRecords() []*TrackRecord {
+	var out []*TrackRecord
+	cutoff := tr.End.Add(-60 * time.Second)
+	for _, rec := range tr.Records {
+		if rec.LastSeen.Before(cutoff) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TargetedCrawl repeatedly sweeps the given areas, tracking lifetimes and
+// viewer counts. clients must supply one api.Client per crawler session;
+// now() reports the population's virtual time and pace advances it.
+func TargetedCrawl(clients []*api.Client, cfg TargetedConfig, now func() time.Time, pace Pacer) (*TargetedResult, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("crawler: no clients")
+	}
+	if cfg.Crawlers <= 0 || cfg.Crawlers > len(clients) {
+		cfg.Crawlers = len(clients)
+	}
+	res := &TargetedResult{Records: map[string]*TrackRecord{}}
+	start := now()
+	// Assign areas round-robin to crawlers. Crawlers proceed in lockstep
+	// (one request each per step), so a full sweep costs
+	// ceil(areas/crawlers) paces of wall time — ~50 s per round with the
+	// study's parameters.
+	assignments := make([][]geo.Rect, cfg.Crawlers)
+	for i, a := range cfg.Areas {
+		assignments[i%cfg.Crawlers] = append(assignments[i%cfg.Crawlers], a)
+	}
+	maxPer := 0
+	for _, as := range assignments {
+		if len(as) > maxPer {
+			maxPer = len(as)
+		}
+	}
+
+	for now().Sub(start) < cfg.CampaignDur {
+		roundStart := now()
+		var newIDs []string
+		for step := 0; step < maxPer; step++ {
+			pace(cfg.Pace) // all crawlers fire within the same pace slot
+			for ci := 0; ci < cfg.Crawlers; ci++ {
+				if step >= len(assignments[ci]) {
+					continue
+				}
+				area := assignments[ci][step]
+				res.Requests++
+				resp, err := clients[ci].MapGeoBroadcastFeed(api.MapGeoBroadcastFeedRequest{
+					P1Lat: area.South, P1Lng: area.West,
+					P2Lat: area.North, P2Lng: area.East,
+				})
+				if err != nil {
+					if errors.As(err, &api.ErrRateLimited{}) {
+						res.RateLimited++
+						continue
+					}
+					return res, err
+				}
+				t := now()
+				for _, d := range resp.Broadcasts {
+					rec, ok := res.Records[d.ID]
+					if !ok {
+						st, _ := d.StartTime()
+						rec = &TrackRecord{ID: d.ID, Desc: d, FirstSeen: t, StartTime: st}
+						res.Records[d.ID] = rec
+						newIDs = append(newIDs, d.ID)
+					}
+					rec.LastSeen = t
+				}
+			}
+		}
+		// Harvest viewer counts for the broadcasts found this round (the
+		// inline script swapped the ids into /getBroadcasts requests).
+		for len(newIDs) > 0 {
+			n := cfg.ViewerBatch
+			if n > len(newIDs) {
+				n = len(newIDs)
+			}
+			batch := newIDs[:n]
+			newIDs = newIDs[n:]
+			pace(cfg.Pace)
+			res.Requests++
+			resp, err := clients[0].GetBroadcasts(batch)
+			if err != nil {
+				if errors.As(err, &api.ErrRateLimited{}) {
+					res.RateLimited++
+					continue
+				}
+				return res, err
+			}
+			for _, d := range resp.Broadcasts {
+				if rec, ok := res.Records[d.ID]; ok {
+					rec.ViewerSamples = append(rec.ViewerSamples, d.NumWatching)
+				}
+			}
+		}
+		// Refresh viewer samples for everything still live, one batch per
+		// round, round-robin.
+		res.Rounds++
+		if res.Rounds == 1 {
+			res.RoundDuration = now().Sub(roundStart)
+		}
+	}
+	res.End = now()
+	return res, nil
+}

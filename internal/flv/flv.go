@@ -1,0 +1,274 @@
+// Package flv implements the FLV tag formats that RTMP message payloads
+// use for audio and video data: AVC video tags (keyframe/interframe, AVC
+// sequence headers with AVCDecoderConfigurationRecord, composition-time
+// offsets for B-frame reordering) and AAC audio tags (AudioSpecificConfig
+// sequence headers). A minimal FLV file reader/writer is included for
+// dumping reconstructed RTMP streams to disk, mirroring the paper's use of
+// the wireshark RTMP dissector to extract audio and video segments.
+package flv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"periscope/internal/avc"
+)
+
+// Tag types.
+const (
+	TagAudio      = 8
+	TagVideo      = 9
+	TagScriptData = 18
+)
+
+// Video frame types (upper nibble of the first video-data byte).
+const (
+	VideoKeyFrame   = 1
+	VideoInterFrame = 2
+)
+
+// CodecAVC is the FLV video codec id for H.264.
+const CodecAVC = 7
+
+// AVC packet types.
+const (
+	AVCSeqHeader = 0
+	AVCNALU      = 1
+	AVCEndOfSeq  = 2
+)
+
+// SoundFormatAAC is the FLV audio sound format for AAC.
+const SoundFormatAAC = 10
+
+// AAC packet types.
+const (
+	AACSeqHeader = 0
+	AACRaw       = 1
+)
+
+// VideoTagData is the payload of an FLV video tag.
+type VideoTagData struct {
+	FrameType       int // VideoKeyFrame or VideoInterFrame
+	PacketType      int // AVCSeqHeader, AVCNALU or AVCEndOfSeq
+	CompositionTime int32
+	Data            []byte // AVCC NALUs, or decoder config for seq header
+}
+
+// Marshal encodes the video tag data bytes.
+func (v VideoTagData) Marshal() []byte {
+	out := make([]byte, 5, 5+len(v.Data))
+	out[0] = byte(v.FrameType<<4 | CodecAVC)
+	out[1] = byte(v.PacketType)
+	out[2] = byte(v.CompositionTime >> 16)
+	out[3] = byte(v.CompositionTime >> 8)
+	out[4] = byte(v.CompositionTime)
+	return append(out, v.Data...)
+}
+
+// ParseVideoTagData decodes video tag data bytes.
+func ParseVideoTagData(data []byte) (VideoTagData, error) {
+	if len(data) < 5 {
+		return VideoTagData{}, errors.New("flv: short video tag")
+	}
+	if codec := data[0] & 0x0F; codec != CodecAVC {
+		return VideoTagData{}, fmt.Errorf("flv: unsupported video codec %d", codec)
+	}
+	ct := int32(data[2])<<16 | int32(data[3])<<8 | int32(data[4])
+	if ct&0x800000 != 0 {
+		ct |= ^int32(0xFFFFFF) // sign-extend 24-bit
+	}
+	return VideoTagData{
+		FrameType:       int(data[0] >> 4),
+		PacketType:      int(data[1]),
+		CompositionTime: ct,
+		Data:            data[5:],
+	}, nil
+}
+
+// AudioTagData is the payload of an FLV audio tag.
+type AudioTagData struct {
+	PacketType int // AACSeqHeader or AACRaw
+	Data       []byte
+}
+
+// Marshal encodes the audio tag data bytes (AAC, 44.1 kHz, stereo, 16-bit).
+func (a AudioTagData) Marshal() []byte {
+	out := make([]byte, 2, 2+len(a.Data))
+	out[0] = SoundFormatAAC<<4 | 3<<2 | 1<<1 | 1 // 44k, 16-bit, stereo
+	out[1] = byte(a.PacketType)
+	return append(out, a.Data...)
+}
+
+// ParseAudioTagData decodes audio tag data bytes.
+func ParseAudioTagData(data []byte) (AudioTagData, error) {
+	if len(data) < 2 {
+		return AudioTagData{}, errors.New("flv: short audio tag")
+	}
+	if f := data[0] >> 4; f != SoundFormatAAC {
+		return AudioTagData{}, fmt.Errorf("flv: unsupported sound format %d", f)
+	}
+	return AudioTagData{PacketType: int(data[1]), Data: data[2:]}, nil
+}
+
+// DecoderConfig builds the AVCDecoderConfigurationRecord carried in an AVC
+// sequence header tag.
+func DecoderConfig(sps avc.SPS, pps avc.PPS) []byte {
+	spsRBSP := sps.Marshal()
+	spsNAL := append([]byte{avc.NALUnit{RefIDC: 3, Type: avc.NALSPS}.Header()}, avc.EscapeRBSP(spsRBSP)...)
+	ppsRBSP := pps.Marshal()
+	ppsNAL := append([]byte{avc.NALUnit{RefIDC: 3, Type: avc.NALPPS}.Header()}, avc.EscapeRBSP(ppsRBSP)...)
+
+	out := []byte{
+		1,              // configurationVersion
+		sps.ProfileIDC, // AVCProfileIndication
+		0,              // profile_compatibility
+		sps.LevelIDC,   // AVCLevelIndication
+		0xFF,           // lengthSizeMinusOne = 3 (4-byte lengths)
+		0xE1,           // numOfSequenceParameterSets = 1
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(len(spsNAL)))
+	out = append(out, spsNAL...)
+	out = append(out, 1) // numOfPictureParameterSets
+	out = binary.BigEndian.AppendUint16(out, uint16(len(ppsNAL)))
+	out = append(out, ppsNAL...)
+	return out
+}
+
+// ParseDecoderConfig extracts the SPS and PPS from a decoder configuration
+// record.
+func ParseDecoderConfig(data []byte) (avc.SPS, avc.PPS, error) {
+	var sps avc.SPS
+	var pps avc.PPS
+	if len(data) < 7 || data[0] != 1 {
+		return sps, pps, errors.New("flv: bad AVC decoder config")
+	}
+	numSPS := int(data[5] & 0x1F)
+	p := 6
+	for i := 0; i < numSPS; i++ {
+		if len(data) < p+2 {
+			return sps, pps, errors.New("flv: truncated SPS length")
+		}
+		n := int(binary.BigEndian.Uint16(data[p : p+2]))
+		p += 2
+		if len(data) < p+n || n == 0 {
+			return sps, pps, errors.New("flv: truncated SPS")
+		}
+		var err error
+		sps, err = avc.ParseSPS(avc.UnescapeRBSP(data[p+1 : p+n]))
+		if err != nil {
+			return sps, pps, err
+		}
+		p += n
+	}
+	if len(data) < p+1 {
+		return sps, pps, errors.New("flv: missing PPS count")
+	}
+	numPPS := int(data[p])
+	p++
+	for i := 0; i < numPPS; i++ {
+		if len(data) < p+2 {
+			return sps, pps, errors.New("flv: truncated PPS length")
+		}
+		n := int(binary.BigEndian.Uint16(data[p : p+2]))
+		p += 2
+		if len(data) < p+n || n == 0 {
+			return sps, pps, errors.New("flv: truncated PPS")
+		}
+		var err error
+		pps, err = avc.ParsePPS(avc.UnescapeRBSP(data[p+1 : p+n]))
+		if err != nil {
+			return sps, pps, err
+		}
+		p += n
+	}
+	return sps, pps, nil
+}
+
+// Tag is a complete FLV tag as stored in a file.
+type Tag struct {
+	Type      uint8
+	Timestamp uint32 // milliseconds
+	Data      []byte
+}
+
+// fileHeader is the 9-byte FLV file header declaring audio+video presence.
+var fileHeader = []byte{'F', 'L', 'V', 1, 0x05, 0, 0, 0, 9}
+
+// Writer writes an FLV file.
+type Writer struct {
+	w       io.Writer
+	started bool
+}
+
+// NewWriter returns an FLV file writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteTag appends one tag (writing the file header first if needed).
+func (fw *Writer) WriteTag(t Tag) error {
+	if !fw.started {
+		if _, err := fw.w.Write(fileHeader); err != nil {
+			return err
+		}
+		if err := binary.Write(fw.w, binary.BigEndian, uint32(0)); err != nil {
+			return err
+		}
+		fw.started = true
+	}
+	hdr := make([]byte, 11)
+	hdr[0] = t.Type
+	hdr[1] = byte(len(t.Data) >> 16)
+	hdr[2] = byte(len(t.Data) >> 8)
+	hdr[3] = byte(len(t.Data))
+	hdr[4] = byte(t.Timestamp >> 16)
+	hdr[5] = byte(t.Timestamp >> 8)
+	hdr[6] = byte(t.Timestamp)
+	hdr[7] = byte(t.Timestamp >> 24) // extended timestamp byte
+	// stream id stays zero
+	if _, err := fw.w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(t.Data); err != nil {
+		return err
+	}
+	return binary.Write(fw.w, binary.BigEndian, uint32(11+len(t.Data)))
+}
+
+// Reader reads an FLV file.
+type Reader struct {
+	r       io.Reader
+	started bool
+}
+
+// NewReader returns an FLV file reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadTag returns the next tag or io.EOF.
+func (fr *Reader) ReadTag() (Tag, error) {
+	if !fr.started {
+		hdr := make([]byte, len(fileHeader)+4)
+		if _, err := io.ReadFull(fr.r, hdr); err != nil {
+			return Tag{}, err
+		}
+		if string(hdr[:3]) != "FLV" {
+			return Tag{}, errors.New("flv: bad file signature")
+		}
+		fr.started = true
+	}
+	hdr := make([]byte, 11)
+	if _, err := io.ReadFull(fr.r, hdr); err != nil {
+		return Tag{}, err
+	}
+	size := int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	ts := uint32(hdr[4])<<16 | uint32(hdr[5])<<8 | uint32(hdr[6]) | uint32(hdr[7])<<24
+	data := make([]byte, size)
+	if _, err := io.ReadFull(fr.r, data); err != nil {
+		return Tag{}, err
+	}
+	var prev [4]byte
+	if _, err := io.ReadFull(fr.r, prev[:]); err != nil {
+		return Tag{}, err
+	}
+	return Tag{Type: hdr[0], Timestamp: ts, Data: data}, nil
+}

@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldValid(t *testing.T) {
+	w := World()
+	if !w.Valid() {
+		t.Fatal("world rect invalid")
+	}
+	if w.Area() != 180*360 {
+		t.Errorf("area = %v", w.Area())
+	}
+}
+
+func TestQuadrantsPartition(t *testing.T) {
+	r := Rect{South: 0, West: 0, North: 40, East: 80}
+	qs := r.Quadrants()
+	var area float64
+	for _, q := range qs {
+		if !q.Valid() {
+			t.Errorf("invalid quadrant %v", q)
+		}
+		area += q.Area()
+	}
+	if math.Abs(area-r.Area()) > 1e-9 {
+		t.Errorf("quadrant area sum %v != %v", area, r.Area())
+	}
+	// Quadrants must not overlap.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if qs[i].Intersects(qs[j]) {
+				t.Errorf("quadrants %d and %d intersect", i, j)
+			}
+		}
+	}
+}
+
+// Property: every point in a rect lands in exactly one quadrant.
+func TestQuadrantContainsProperty(t *testing.T) {
+	f := func(latSeed, lonSeed float64) bool {
+		if math.IsNaN(latSeed) || math.IsNaN(lonSeed) || math.IsInf(latSeed, 0) || math.IsInf(lonSeed, 0) {
+			return true
+		}
+		p := Point{
+			Lat: math.Mod(math.Abs(latSeed), 180) - 90,
+			Lon: math.Mod(math.Abs(lonSeed), 360) - 180,
+		}
+		w := World()
+		if !w.Contains(p) {
+			return true // north/east boundary points excluded by design
+		}
+		count := 0
+		for _, q := range w.Quadrants() {
+			if q.Contains(p) {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsEdges(t *testing.T) {
+	r := Rect{South: 0, West: 0, North: 10, East: 10}
+	if !r.Contains(Point{Lat: 0, Lon: 0}) {
+		t.Error("south-west corner must be inside")
+	}
+	if r.Contains(Point{Lat: 10, Lon: 5}) {
+		t.Error("north edge must be outside")
+	}
+	if r.Contains(Point{Lat: 5, Lon: 10}) {
+		t.Error("east edge must be outside")
+	}
+}
+
+func TestLocalHourOffset(t *testing.T) {
+	cases := []struct {
+		lon  float64
+		want int
+	}{{0, 0}, {15, 1}, {-15, -1}, {179, 12}, {-179, -12}, {7.4, 0}, {7.6, 1}}
+	for _, c := range cases {
+		if got := LocalHourOffset(c.lon); got != c.want {
+			t.Errorf("LocalHourOffset(%v) = %d, want %d", c.lon, got, c.want)
+		}
+	}
+}
+
+func TestLocalHourWraps(t *testing.T) {
+	if h := LocalHour(23, 30); h != 1 {
+		t.Errorf("LocalHour(23, 30E) = %v, want 1", h)
+	}
+	if h := LocalHour(1, -45); h != 22 {
+		t.Errorf("LocalHour(1, 45W) = %v, want 22", h)
+	}
+}
+
+func TestRegionsWeights(t *testing.T) {
+	var sum float64
+	for _, r := range Regions() {
+		if !r.Bounds.Valid() {
+			t.Errorf("region %s bounds invalid", r.Name)
+		}
+		if r.Weight <= 0 {
+			t.Errorf("region %s has non-positive weight", r.Name)
+		}
+		sum += r.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("region weights sum to %v, want 1", sum)
+	}
+}
+
+func TestNearestRegion(t *testing.T) {
+	regs := Regions()
+	// San Francisco should map to us-west.
+	if r := NearestRegion(regs, Point{Lat: 37.7, Lon: -122.4}); r.Name != "us-west" {
+		t.Errorf("SF nearest = %s, want us-west", r.Name)
+	}
+	// Istanbul area should be middle-east or eu-east, not the Americas.
+	r := NearestRegion(regs, Point{Lat: 41, Lon: 29})
+	if r.Name == "us-west" || r.Name == "us-east" || r.Name == "south-america" {
+		t.Errorf("Istanbul nearest = %s", r.Name)
+	}
+}
+
+func TestGridCover(t *testing.T) {
+	r := World()
+	cells := GridCover(r, 8)
+	if len(cells) != 64 {
+		t.Fatalf("got %d cells, want 64", len(cells))
+	}
+	var area float64
+	for _, c := range cells {
+		if !c.Valid() {
+			t.Errorf("invalid cell %v", c)
+		}
+		area += c.Area()
+	}
+	if math.Abs(area-r.Area()) > 1e-6 {
+		t.Errorf("grid area %v != world %v", area, r.Area())
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Rect{South: 0, West: 0, North: 10, East: 10}
+	b := Rect{South: 5, West: 5, North: 15, East: 15}
+	c := Rect{South: 10, West: 10, North: 20, East: 20}
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c touch only at a corner; exclusive edges say no")
+	}
+}

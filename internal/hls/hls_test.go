@@ -1,0 +1,243 @@
+package hls
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"periscope/internal/avc"
+	"periscope/internal/media"
+	"periscope/internal/mpegts"
+)
+
+func TestPlaylistRoundTrip(t *testing.T) {
+	p := MediaPlaylist{
+		TargetDuration: 4,
+		MediaSequence:  12,
+		Segments: []Segment{
+			{URI: "seg000012.ts", Duration: 3.6},
+			{URI: "seg000013.ts", Duration: 3.6},
+			{URI: "seg000014.ts", Duration: 4.2},
+		},
+	}
+	got, err := ParseMediaPlaylist(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TargetDuration != 4 || got.MediaSequence != 12 || len(got.Segments) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Segments[2].Duration != 4.2 || got.Segments[2].Sequence != 14 {
+		t.Errorf("segment 2 = %+v", got.Segments[2])
+	}
+	if got.Ended {
+		t.Error("live playlist must not be ended")
+	}
+}
+
+func TestPlaylistEnded(t *testing.T) {
+	p := MediaPlaylist{TargetDuration: 4, Ended: true,
+		Segments: []Segment{{URI: "seg000000.ts", Duration: 3.0}}}
+	got, err := ParseMediaPlaylist(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Ended {
+		t.Error("ENDLIST lost")
+	}
+}
+
+func TestPlaylistBadHeader(t *testing.T) {
+	if _, err := ParseMediaPlaylist([]byte("nope\n")); err == nil {
+		t.Error("want error for missing #EXTM3U")
+	}
+}
+
+func TestPlaylistURIWithoutEXTINF(t *testing.T) {
+	if _, err := ParseMediaPlaylist([]byte("#EXTM3U\nseg.ts\n")); err == nil {
+		t.Error("want error for URI without EXTINF")
+	}
+}
+
+func TestSegmentName(t *testing.T) {
+	if SegmentName(42) != "seg000042.ts" {
+		t.Errorf("name = %s", SegmentName(42))
+	}
+	seq, err := ParseSegmentName("seg000042.ts")
+	if err != nil || seq != 42 {
+		t.Errorf("seq = %d err = %v", seq, err)
+	}
+	if _, err := ParseSegmentName("bogus"); err == nil {
+		t.Error("want error for bogus name")
+	}
+}
+
+// feedSegmenter runs a synthetic encoder into the segmenter for the given
+// stream duration and returns the segmenter.
+func feedSegmenter(t *testing.T, streamDur time.Duration, target time.Duration) *Segmenter {
+	t.Helper()
+	seg := NewSegmenter(target, 4)
+	cfg := media.DefaultEncoderConfig()
+	cfg.DropProb = 0
+	enc := media.NewEncoder(cfg, time.Unix(1000, 0))
+	interval := enc.FrameInterval()
+	now := time.Unix(2000, 0)
+	for pts := time.Duration(0); pts < streamDur; pts += interval {
+		f := enc.NextFrame()
+		seg.WriteVideo(now.Add(f.PTS), f.PTS, f.DTS, f.Keyframe, avc.MarshalAnnexB(f.NALs))
+	}
+	seg.Finish(now.Add(streamDur))
+	return seg
+}
+
+func TestSegmenterCutsNearTarget(t *testing.T) {
+	seg := feedSegmenter(t, 30*time.Second, DefaultSegmentTarget)
+	if seg.SegmentCount() < 5 {
+		t.Fatalf("only %d segments from 30s", seg.SegmentCount())
+	}
+	pl := seg.Playlist()
+	if !pl.Ended {
+		t.Error("finished stream must have ENDLIST")
+	}
+	// All but the last segment should be within [3, 6] seconds as in §5.2.
+	for i, s := range pl.Segments {
+		if i == len(pl.Segments)-1 {
+			continue
+		}
+		if s.Duration < 2.9 || s.Duration > 6.1 {
+			t.Errorf("segment %d duration %.2f outside [3,6]", i, s.Duration)
+		}
+	}
+}
+
+func TestSegmenterWindowSlides(t *testing.T) {
+	seg := feedSegmenter(t, 60*time.Second, DefaultSegmentTarget)
+	pl := seg.Playlist()
+	if len(pl.Segments) > 4 {
+		t.Errorf("window holds %d segments, max 4", len(pl.Segments))
+	}
+	if pl.MediaSequence == 0 {
+		t.Error("media sequence should have advanced")
+	}
+}
+
+func TestSegmentsDemux(t *testing.T) {
+	seg := feedSegmenter(t, 12*time.Second, DefaultSegmentTarget)
+	found := false
+	for i := 0; i < seg.SegmentCount(); i++ {
+		s, ok := seg.Segment(i)
+		if !ok {
+			continue
+		}
+		found = true
+		units, err := mpegts.DemuxAll(s.Data)
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		// First video unit of each segment must be a keyframe (random access).
+		for _, u := range units {
+			if u.PID == mpegts.PIDVideo {
+				if !u.Keyframe {
+					t.Errorf("segment %d does not start with a keyframe", i)
+				}
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no fetchable segments")
+	}
+}
+
+func TestOriginAndClientLive(t *testing.T) {
+	seg := NewSegmenter(500*time.Millisecond, 4)
+	srv := httptest.NewServer(&Origin{Seg: seg})
+	defer srv.Close()
+
+	cfg := media.DefaultEncoderConfig()
+	cfg.DropProb = 0
+	cfg.IDRPeriod = 12
+	enc := media.NewEncoder(cfg, time.Now())
+
+	// Producer: feed in real time (compressed: 1 frame per ms).
+	stop := make(chan struct{})
+	var prodWG sync.WaitGroup
+	prodWG.Add(1)
+	go func() {
+		defer prodWG.Done()
+		for {
+			select {
+			case <-stop:
+				seg.Finish(time.Now())
+				return
+			default:
+			}
+			f := enc.NextFrame()
+			seg.WriteVideo(time.Now(), f.PTS, f.DTS, f.Keyframe, avc.MarshalAnnexB(f.NALs))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var mu sync.Mutex
+	var fetched []FetchedSegment
+	client := NewClient(ClientConfig{
+		BaseURL:      srv.URL,
+		PollInterval: 50 * time.Millisecond,
+		Parallelism:  2,
+		OnSegment: func(fs FetchedSegment) {
+			mu.Lock()
+			fetched = append(fetched, fs)
+			mu.Unlock()
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+	defer cancel()
+	go func() {
+		// Let the client run for a while against the live stream, then end it.
+		time.Sleep(3 * time.Second)
+		close(stop)
+	}()
+	n, err := client.Run(ctx)
+	prodWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no segments delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(fetched); i++ {
+		if fetched[i].Sequence != fetched[i-1].Sequence+1 {
+			t.Errorf("segments out of order: %d after %d", fetched[i].Sequence, fetched[i-1].Sequence)
+		}
+	}
+	for _, fs := range fetched {
+		if _, err := mpegts.DemuxAll(fs.Data); err != nil {
+			t.Errorf("segment %d corrupt: %v", fs.Sequence, err)
+		}
+	}
+	if client.Bytes == 0 || client.PlaylistFetches == 0 {
+		t.Error("traffic accounting empty")
+	}
+}
+
+func TestMaxSegmentDuration(t *testing.T) {
+	p := MediaPlaylist{Segments: []Segment{{Duration: 3.6}, {Duration: 5.9}, {Duration: 3.0}}}
+	if d := p.MaxSegmentDuration(); math.Abs(d-5.9) > 1e-9 {
+		t.Errorf("max = %v", d)
+	}
+}
+
+func TestPlaylistMarshalStable(t *testing.T) {
+	p := MediaPlaylist{TargetDuration: 4, Segments: []Segment{{URI: "seg000000.ts", Duration: 3.6}}}
+	a := p.Marshal()
+	b := p.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Error("marshal not deterministic")
+	}
+}

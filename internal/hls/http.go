@@ -1,0 +1,51 @@
+package hls
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Origin serves a Segmenter's playlist and segments over HTTP. The service
+// layer mounts one Origin per popular broadcast behind its CDN nodes.
+type Origin struct {
+	Seg *Segmenter
+}
+
+// ServeHTTP handles "playlist.m3u8" and "segNNNNNN.ts" paths (any prefix).
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	base := path[strings.LastIndexByte(path, '/')+1:]
+	switch {
+	case base == "playlist.m3u8":
+		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+		w.Header().Set("Cache-Control", "max-age=1")
+		w.Write(o.Seg.Playlist().Marshal())
+	case strings.HasPrefix(base, "seg") && strings.HasSuffix(base, ".ts"):
+		seq, err := ParseSegmentName(base)
+		if err != nil {
+			http.Error(w, "bad segment name", http.StatusBadRequest)
+			return
+		}
+		seg, ok := o.Seg.Segment(seq)
+		if !ok {
+			http.Error(w, "segment expired or not yet available", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "video/MP2T")
+		w.Header().Set("Cache-Control", "max-age=3600")
+		w.Write(seg.Data)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// FetchedSegment is one segment downloaded by the client, with the timing
+// needed for QoE analysis.
+type FetchedSegment struct {
+	Sequence   int
+	Duration   time.Duration
+	Data       []byte
+	FetchStart time.Time
+	FetchEnd   time.Time
+}

@@ -1,0 +1,160 @@
+package hls
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Master playlists. The paper notes HLS is "an adaptive streaming protocol
+// capable for quality switching on the fly" and speculates that the RTMP
+// stream is "possibly transcoded to multiple qualities" — yet §5.2 finds
+// no evidence of bitrate adaptation in the captures (a single variant).
+// This file provides the master-playlist machinery so both configurations
+// can be expressed: the study's single-variant service and the
+// multi-variant extension.
+
+// Variant is one entry of a master playlist.
+type Variant struct {
+	URI        string
+	Bandwidth  int // peak bits per second
+	Resolution string
+	Codecs     string
+}
+
+// MasterPlaylist is an HLS master (multivariant) playlist.
+type MasterPlaylist struct {
+	Version  int
+	Variants []Variant
+}
+
+// Marshal renders the master playlist in M3U8 format.
+func (m MasterPlaylist) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "#EXTM3U\n")
+	version := m.Version
+	if version == 0 {
+		version = 3
+	}
+	fmt.Fprintf(&b, "#EXT-X-VERSION:%d\n", version)
+	for _, v := range m.Variants {
+		fmt.Fprintf(&b, "#EXT-X-STREAM-INF:BANDWIDTH=%d", v.Bandwidth)
+		if v.Resolution != "" {
+			fmt.Fprintf(&b, ",RESOLUTION=%s", v.Resolution)
+		}
+		if v.Codecs != "" {
+			fmt.Fprintf(&b, ",CODECS=%q", v.Codecs)
+		}
+		fmt.Fprintf(&b, "\n%s\n", v.URI)
+	}
+	return b.Bytes()
+}
+
+// ParseMasterPlaylist decodes a master playlist.
+func ParseMasterPlaylist(data []byte) (MasterPlaylist, error) {
+	var m MasterPlaylist
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "#EXTM3U" {
+		return m, errors.New("hls: missing #EXTM3U header")
+	}
+	var pending *Variant
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#EXT-X-VERSION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-VERSION:"))
+			if err != nil {
+				return m, fmt.Errorf("hls: bad version: %w", err)
+			}
+			m.Version = v
+		case strings.HasPrefix(line, "#EXT-X-STREAM-INF:"):
+			attrs := parseAttrList(strings.TrimPrefix(line, "#EXT-X-STREAM-INF:"))
+			v := Variant{
+				Resolution: attrs["RESOLUTION"],
+				Codecs:     attrs["CODECS"],
+			}
+			if bw, err := strconv.Atoi(attrs["BANDWIDTH"]); err == nil {
+				v.Bandwidth = bw
+			}
+			pending = &v
+		case strings.HasPrefix(line, "#"):
+			continue
+		default:
+			if pending == nil {
+				return m, fmt.Errorf("hls: variant URI %q without STREAM-INF", line)
+			}
+			pending.URI = line
+			m.Variants = append(m.Variants, *pending)
+			pending = nil
+		}
+	}
+	return m, sc.Err()
+}
+
+// parseAttrList splits an HLS attribute list, honouring quoted values.
+func parseAttrList(s string) map[string]string {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		var val string
+		if strings.HasPrefix(s, `"`) {
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				break
+			}
+			val = s[1 : 1+end]
+			s = s[2+end:]
+			s = strings.TrimPrefix(s, ",")
+		} else {
+			end := strings.IndexByte(s, ',')
+			if end < 0 {
+				val, s = s, ""
+			} else {
+				val, s = s[:end], s[end+1:]
+			}
+		}
+		out[key] = val
+	}
+	return out
+}
+
+// PickVariant selects the highest-bandwidth variant sustainable at the
+// measured throughput with the given safety factor (e.g. 0.8), falling
+// back to the lowest variant. This is the rate-adaptation policy the
+// study looked for and did not observe in Periscope; the simulator's
+// single-variant deployment reproduces the observed behaviour, while this
+// helper enables the counterfactual.
+func PickVariant(m MasterPlaylist, throughputBps float64, safety float64) (Variant, error) {
+	if len(m.Variants) == 0 {
+		return Variant{}, errors.New("hls: empty master playlist")
+	}
+	if safety <= 0 {
+		safety = 0.8
+	}
+	best := -1
+	lowest := 0
+	for i, v := range m.Variants {
+		if v.Bandwidth < m.Variants[lowest].Bandwidth {
+			lowest = i
+		}
+		if float64(v.Bandwidth) <= throughputBps*safety {
+			if best == -1 || v.Bandwidth > m.Variants[best].Bandwidth {
+				best = i
+			}
+		}
+	}
+	if best == -1 {
+		best = lowest
+	}
+	return m.Variants[best], nil
+}

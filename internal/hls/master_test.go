@@ -1,0 +1,79 @@
+package hls
+
+import (
+	"testing"
+)
+
+func testMaster() MasterPlaylist {
+	return MasterPlaylist{
+		Variants: []Variant{
+			{URI: "low/playlist.m3u8", Bandwidth: 250_000, Resolution: "320x568", Codecs: "avc1.42001f,mp4a.40.2"},
+			{URI: "mid/playlist.m3u8", Bandwidth: 500_000, Resolution: "320x568"},
+			{URI: "high/playlist.m3u8", Bandwidth: 1_000_000, Resolution: "640x1136"},
+		},
+	}
+}
+
+func TestMasterPlaylistRoundTrip(t *testing.T) {
+	m := testMaster()
+	got, err := ParseMasterPlaylist(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Variants) != 3 {
+		t.Fatalf("variants = %d", len(got.Variants))
+	}
+	if got.Variants[0].Bandwidth != 250_000 || got.Variants[0].URI != "low/playlist.m3u8" {
+		t.Errorf("variant 0 = %+v", got.Variants[0])
+	}
+	if got.Variants[0].Codecs != "avc1.42001f,mp4a.40.2" {
+		t.Errorf("quoted codecs mangled: %q", got.Variants[0].Codecs)
+	}
+	if got.Variants[2].Resolution != "640x1136" {
+		t.Errorf("variant 2 resolution = %q", got.Variants[2].Resolution)
+	}
+}
+
+func TestMasterPlaylistBadInputs(t *testing.T) {
+	if _, err := ParseMasterPlaylist([]byte("junk")); err == nil {
+		t.Error("want error for missing header")
+	}
+	if _, err := ParseMasterPlaylist([]byte("#EXTM3U\norphan.m3u8\n")); err == nil {
+		t.Error("want error for URI without STREAM-INF")
+	}
+}
+
+func TestPickVariant(t *testing.T) {
+	m := testMaster()
+	cases := []struct {
+		throughput float64
+		wantBW     int
+	}{
+		{2_000_000, 1_000_000}, // plenty: highest
+		{700_000, 500_000},     // 1M > 0.7M*0.8: mid
+		{300_000, 250_000},     // only low fits 240k budget... 250k > 240k: fallback lowest
+		{100_000, 250_000},     // nothing fits: lowest
+	}
+	for _, c := range cases {
+		v, err := PickVariant(m, c.throughput, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Bandwidth != c.wantBW {
+			t.Errorf("throughput %.0f: picked %d, want %d", c.throughput, v.Bandwidth, c.wantBW)
+		}
+	}
+}
+
+func TestPickVariantEmpty(t *testing.T) {
+	if _, err := PickVariant(MasterPlaylist{}, 1e6, 0.8); err == nil {
+		t.Error("want error for empty master")
+	}
+}
+
+func TestAttrList(t *testing.T) {
+	attrs := parseAttrList(`BANDWIDTH=800000,CODECS="avc1,mp4a",RESOLUTION=320x568`)
+	if attrs["BANDWIDTH"] != "800000" || attrs["CODECS"] != "avc1,mp4a" || attrs["RESOLUTION"] != "320x568" {
+		t.Errorf("attrs = %v", attrs)
+	}
+}

@@ -1,0 +1,121 @@
+// Package hls implements HTTP Live Streaming as Periscope uses it for
+// popular broadcasts (§3, §5): M3U8 media playlists, a live sliding-window
+// segmenter cutting MPEG-TS segments at keyframes (most segments ~3.6 s,
+// ranging 3-6 s, §5.2), an HTTP delivery handler standing in for the
+// Fastly CDN edge, and a polling client that may fetch segments over
+// multiple parallel connections, as the paper observed.
+package hls
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Segment is one entry of a media playlist.
+type Segment struct {
+	URI      string
+	Duration float64 // seconds
+	Sequence int
+}
+
+// MediaPlaylist is an HLS media playlist (live window or VOD).
+type MediaPlaylist struct {
+	Version        int
+	TargetDuration int
+	MediaSequence  int
+	Segments       []Segment
+	Ended          bool
+}
+
+// Marshal renders the playlist in M3U8 format.
+func (p MediaPlaylist) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "#EXTM3U\n")
+	version := p.Version
+	if version == 0 {
+		version = 3
+	}
+	fmt.Fprintf(&b, "#EXT-X-VERSION:%d\n", version)
+	fmt.Fprintf(&b, "#EXT-X-TARGETDURATION:%d\n", p.TargetDuration)
+	fmt.Fprintf(&b, "#EXT-X-MEDIA-SEQUENCE:%d\n", p.MediaSequence)
+	for _, s := range p.Segments {
+		fmt.Fprintf(&b, "#EXTINF:%.3f,\n%s\n", s.Duration, s.URI)
+	}
+	if p.Ended {
+		fmt.Fprintf(&b, "#EXT-X-ENDLIST\n")
+	}
+	return b.Bytes()
+}
+
+// ParseMediaPlaylist decodes an M3U8 media playlist.
+func ParseMediaPlaylist(data []byte) (MediaPlaylist, error) {
+	var p MediaPlaylist
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "#EXTM3U" {
+		return p, errors.New("hls: missing #EXTM3U header")
+	}
+	var pendingDur *float64
+	seq := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#EXT-X-VERSION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-VERSION:"))
+			if err != nil {
+				return p, fmt.Errorf("hls: bad version: %w", err)
+			}
+			p.Version = v
+		case strings.HasPrefix(line, "#EXT-X-TARGETDURATION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-TARGETDURATION:"))
+			if err != nil {
+				return p, fmt.Errorf("hls: bad target duration: %w", err)
+			}
+			p.TargetDuration = v
+		case strings.HasPrefix(line, "#EXT-X-MEDIA-SEQUENCE:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-MEDIA-SEQUENCE:"))
+			if err != nil {
+				return p, fmt.Errorf("hls: bad media sequence: %w", err)
+			}
+			p.MediaSequence = v
+			seq = v
+		case strings.HasPrefix(line, "#EXTINF:"):
+			spec := strings.TrimPrefix(line, "#EXTINF:")
+			if i := strings.IndexByte(spec, ','); i >= 0 {
+				spec = spec[:i]
+			}
+			d, err := strconv.ParseFloat(spec, 64)
+			if err != nil {
+				return p, fmt.Errorf("hls: bad EXTINF: %w", err)
+			}
+			pendingDur = &d
+		case line == "#EXT-X-ENDLIST":
+			p.Ended = true
+		case strings.HasPrefix(line, "#"):
+			continue // unknown tag
+		default:
+			if pendingDur == nil {
+				return p, fmt.Errorf("hls: segment URI %q without EXTINF", line)
+			}
+			p.Segments = append(p.Segments, Segment{URI: line, Duration: *pendingDur, Sequence: seq})
+			seq++
+			pendingDur = nil
+		}
+	}
+	return p, sc.Err()
+}
+
+// MaxSegmentDuration returns the longest segment duration, or 0.
+func (p MediaPlaylist) MaxSegmentDuration() float64 {
+	var m float64
+	for _, s := range p.Segments {
+		m = math.Max(m, s.Duration)
+	}
+	return m
+}

@@ -1,0 +1,291 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"periscope/internal/avc"
+)
+
+func TestGOPPatternShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[GOPPattern]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[PickGOPPattern(rng)]++
+	}
+	ipShare := float64(counts[GOPIP]) / float64(n)
+	if ipShare < 0.15 || ipShare < 0.10 || ipShare > 0.25 {
+		t.Errorf("IP share = %v, want ~0.195", ipShare)
+	}
+	if counts[GOPIOnly] == 0 {
+		t.Error("I-only pattern never drawn")
+	}
+	if float64(counts[GOPIOnly])/float64(n) > 0.03 {
+		t.Errorf("I-only share too high: %v", float64(counts[GOPIOnly])/float64(n))
+	}
+}
+
+func TestFrameTypeSequenceIBP(t *testing.T) {
+	cfg := DefaultEncoderConfig()
+	cfg.EmitPayload = false
+	cfg.DropProb = 0
+	e := NewEncoder(cfg, time.Unix(0, 0))
+	var seq []FrameType
+	for i := 0; i < 72; i++ {
+		seq = append(seq, e.NextFrame().Type)
+	}
+	if seq[0] != FrameI || seq[36] != FrameI {
+		t.Error("I frames must appear at the IDR period (36)")
+	}
+	if seq[1] != FrameB || seq[2] != FrameP {
+		t.Errorf("IBP pattern broken: %v %v", seq[1], seq[2])
+	}
+	// No other I frames inside the GOP.
+	for i := 1; i < 36; i++ {
+		if seq[i] == FrameI {
+			t.Errorf("unexpected I frame at %d", i)
+		}
+	}
+}
+
+func TestFrameTypeSequenceIPOnly(t *testing.T) {
+	cfg := DefaultEncoderConfig()
+	cfg.Pattern = GOPIP
+	cfg.EmitPayload = false
+	e := NewEncoder(cfg, time.Unix(0, 0))
+	for i := 0; i < 100; i++ {
+		f := e.NextFrame()
+		if f.Type == FrameB {
+			t.Fatal("IP pattern must not contain B frames")
+		}
+	}
+}
+
+func TestFrameTypeSequenceIOnly(t *testing.T) {
+	cfg := DefaultEncoderConfig()
+	cfg.Pattern = GOPIOnly
+	cfg.EmitPayload = false
+	e := NewEncoder(cfg, time.Unix(0, 0))
+	for i := 0; i < 50; i++ {
+		if f := e.NextFrame(); f.Type != FrameI {
+			t.Fatal("I-only pattern produced a non-I frame")
+		}
+	}
+}
+
+func TestRateControlConverges(t *testing.T) {
+	for _, target := range []int{200_000, 320_000, 400_000} {
+		cfg := DefaultEncoderConfig()
+		cfg.TargetBitrate = target
+		cfg.Class = ContentModerate
+		cfg.EmitPayload = false
+		cfg.DropProb = 0
+		e := NewEncoder(cfg, time.Unix(0, 0))
+		// Warm up, then measure.
+		for i := 0; i < 200; i++ {
+			e.NextFrame()
+		}
+		var bits int
+		n := 2000
+		var dur time.Duration
+		interval := e.FrameInterval()
+		for i := 0; i < n; i++ {
+			f := e.NextFrame()
+			bits += f.Bits
+			dur += interval
+		}
+		got := float64(bits) / dur.Seconds()
+		if got < 0.7*float64(target) || got > 1.4*float64(target) {
+			t.Errorf("target %d: measured %0.f", target, got)
+		}
+	}
+}
+
+func TestStaticContentLowersQPAndBitrate(t *testing.T) {
+	// Static scenes should drive QP to a low value; the bitrate may fall
+	// under target when QP floors out. High motion drives QP up.
+	mkEnc := func(class ContentClass) (avgQP, bps float64) {
+		cfg := DefaultEncoderConfig()
+		cfg.Class = class
+		cfg.EmitPayload = false
+		cfg.DropProb = 0
+		cfg.Seed = 99
+		e := NewEncoder(cfg, time.Unix(0, 0))
+		for i := 0; i < 300; i++ {
+			e.NextFrame()
+		}
+		var qpSum, bits float64
+		n := 1500
+		for i := 0; i < n; i++ {
+			f := e.NextFrame()
+			qpSum += float64(f.QP)
+			bits += float64(f.Bits)
+		}
+		return qpSum / float64(n), bits / (float64(n) * e.FrameInterval().Seconds())
+	}
+	staticQP, _ := mkEnc(ContentStatic)
+	motionQP, _ := mkEnc(ContentHighMotion)
+	if staticQP >= motionQP {
+		t.Errorf("static QP %v should be < high-motion QP %v", staticQP, motionQP)
+	}
+}
+
+func TestEncoderEmitsParseableNALs(t *testing.T) {
+	cfg := DefaultEncoderConfig()
+	cfg.DropProb = 0
+	start := time.Date(2016, 4, 1, 12, 0, 0, 0, time.UTC)
+	e := NewEncoder(cfg, start)
+	sps := e.SPS()
+	pps := e.PPS()
+	sawSEI := false
+	for i := 0; i < 80; i++ {
+		f := e.NextFrame()
+		if len(f.NALs) == 0 {
+			t.Fatalf("frame %d has no NALs", i)
+		}
+		data := avc.MarshalAnnexB(f.NALs)
+		units, err := avc.ParseAnnexB(data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		for _, u := range units {
+			switch u.Type {
+			case avc.NALSliceIDR, avc.NALSliceNonIDR:
+				h, err := avc.ParseSliceHeader(u, sps)
+				if err != nil {
+					t.Fatalf("frame %d slice: %v", i, err)
+				}
+				if got := h.QP(pps); got != int32(f.QP) {
+					t.Errorf("frame %d: parsed QP %d != encoder QP %d", i, got, f.QP)
+				}
+			case avc.NALSEI:
+				if ts, err := avc.ParseTimestampSEI(u); err == nil {
+					sawSEI = true
+					if ts.Before(start) {
+						t.Error("SEI timestamp before stream start")
+					}
+				}
+			}
+		}
+	}
+	if !sawSEI {
+		t.Error("no NTP timestamp SEI emitted in 80 frames")
+	}
+}
+
+func TestIDRCarriesParameterSets(t *testing.T) {
+	cfg := DefaultEncoderConfig()
+	cfg.DropProb = 0
+	e := NewEncoder(cfg, time.Unix(0, 0))
+	f := e.NextFrame()
+	if !f.Keyframe {
+		t.Fatal("first frame must be a keyframe")
+	}
+	var hasSPS, hasPPS bool
+	for _, u := range f.NALs {
+		if u.Type == avc.NALSPS {
+			hasSPS = true
+		}
+		if u.Type == avc.NALPPS {
+			hasPPS = true
+		}
+	}
+	if !hasSPS || !hasPPS {
+		t.Error("IDR frame missing SPS/PPS")
+	}
+}
+
+func TestBFrameReorderDelay(t *testing.T) {
+	cfg := DefaultEncoderConfig()
+	cfg.EmitPayload = false
+	e := NewEncoder(cfg, time.Unix(0, 0))
+	for i := 0; i < 40; i++ {
+		f := e.NextFrame()
+		if f.Type == FrameB && f.DTS >= f.PTS {
+			t.Error("B frame must have DTS < PTS")
+		}
+		if f.Type != FrameB && f.DTS != f.PTS {
+			t.Error("non-B frame must have DTS == PTS")
+		}
+	}
+}
+
+func TestFrameBitsMonotonicInQP(t *testing.T) {
+	prev := FrameBits(FrameP, 1.0, MinQP)
+	for qp := MinQP + 1; qp <= MaxQP; qp++ {
+		cur := FrameBits(FrameP, 1.0, qp)
+		if cur > prev {
+			t.Fatalf("FrameBits not monotone at QP %d", qp)
+		}
+		prev = cur
+	}
+}
+
+func TestFrameBitsTypeOrdering(t *testing.T) {
+	i := FrameBits(FrameI, 1, 30)
+	p := FrameBits(FrameP, 1, 30)
+	b := FrameBits(FrameB, 1, 30)
+	if !(i > p && p > b) {
+		t.Errorf("frame cost ordering broken: I=%d P=%d B=%d", i, p, b)
+	}
+}
+
+func TestComplexityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewComplexity(ContentHighMotion, rng)
+	for i := 0; i < 10000; i++ {
+		v := c.Next()
+		if v < 0.1 || v > 4 {
+			t.Fatalf("complexity %v out of bounds", v)
+		}
+	}
+}
+
+func TestRandomEncoderConfigRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		cfg := RandomEncoderConfig(rng)
+		if cfg.Pattern != GOPIOnly && (cfg.TargetBitrate < 200_000 || cfg.TargetBitrate > 400_000) {
+			t.Errorf("bitrate %d outside 200-400k", cfg.TargetBitrate)
+		}
+		if cfg.FrameRate > 30 || cfg.FrameRate < 18 {
+			t.Errorf("frame rate %v outside [18,30]", cfg.FrameRate)
+		}
+	}
+}
+
+func TestDroppedFramesOccur(t *testing.T) {
+	cfg := DefaultEncoderConfig()
+	cfg.DropProb = 0.05
+	cfg.EmitPayload = true
+	e := NewEncoder(cfg, time.Unix(0, 0))
+	dropped := 0
+	for i := 0; i < 2000; i++ {
+		f := e.NextFrame()
+		if f.Dropped {
+			dropped++
+			if len(f.NALs) != 0 {
+				t.Fatal("dropped frame must carry no payload")
+			}
+		}
+	}
+	if dropped < 50 || dropped > 200 {
+		t.Errorf("dropped = %d, want ~100", dropped)
+	}
+}
+
+func TestOrientationVaries(t *testing.T) {
+	// Both 320x568 and 568x320 must occur across seeds.
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := DefaultEncoderConfig()
+		cfg.Seed = seed
+		e := NewEncoder(cfg, time.Unix(0, 0))
+		seen[e.SPS().Width] = true
+	}
+	if !seen[320] || !seen[568] {
+		t.Errorf("orientations seen: %v", seen)
+	}
+}

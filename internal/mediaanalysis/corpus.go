@@ -1,0 +1,131 @@
+package mediaanalysis
+
+import (
+	"math/rand"
+	"time"
+
+	"periscope/internal/avc"
+	"periscope/internal/flv"
+	"periscope/internal/hls"
+	"periscope/internal/media"
+)
+
+// Corpus generation: synthesizes the captured-video dataset of §5.2 by
+// running the real encoder/segmenter/FLV pipelines, so the analyzers parse
+// genuine bitstreams rather than summaries.
+
+// CorpusConfig tunes the synthetic capture corpus.
+type CorpusConfig struct {
+	// Videos is the number of distinct broadcasts captured per protocol.
+	Videos int
+	// CaptureDur is how much of each stream is captured (60 s sessions).
+	CaptureDur time.Duration
+	// SegmentTarget for the HLS side.
+	SegmentTarget time.Duration
+	Seed          int64
+}
+
+// DefaultCorpusConfig mirrors the study's scale per protocol.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Videos:        150,
+		CaptureDur:    60 * time.Second,
+		SegmentTarget: 3600 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// RTMPCapture is one reconstructed RTMP video.
+type RTMPCapture struct {
+	Tags []TimedVideoTag
+}
+
+// GenerateRTMPCapture produces one RTMP capture with the encoder seeded
+// from cfg.
+func GenerateRTMPCapture(enc media.EncoderConfig, dur time.Duration) RTMPCapture {
+	enc.EmitPayload = true
+	e := media.NewEncoder(enc, time.Unix(0, 0))
+	var cap RTMPCapture
+	cap.Tags = append(cap.Tags, TimedVideoTag{
+		TimestampMS: 0,
+		Data: flv.VideoTagData{
+			FrameType:  flv.VideoKeyFrame,
+			PacketType: flv.AVCSeqHeader,
+			Data:       flv.DecoderConfig(e.SPS(), e.PPS()),
+		}.Marshal(),
+	})
+	for {
+		f := e.NextFrame()
+		if f.PTS > dur {
+			break
+		}
+		if f.Dropped {
+			continue
+		}
+		ft := flv.VideoInterFrame
+		if f.Keyframe {
+			ft = flv.VideoKeyFrame
+		}
+		cap.Tags = append(cap.Tags, TimedVideoTag{
+			TimestampMS: uint32(f.DTS.Milliseconds()),
+			Data: flv.VideoTagData{
+				FrameType:       ft,
+				PacketType:      flv.AVCNALU,
+				CompositionTime: int32((f.PTS - f.DTS).Milliseconds()),
+				Data:            avc.MarshalAVCC(f.NALs),
+			}.Marshal(),
+		})
+	}
+	return cap
+}
+
+// GenerateHLSCapture produces the TS segments of one HLS capture.
+func GenerateHLSCapture(enc media.EncoderConfig, dur, target time.Duration) [][]byte {
+	enc.EmitPayload = true
+	e := media.NewEncoder(enc, time.Unix(0, 0))
+	seg := hls.NewSegmenter(target, 1<<30) // keep every segment
+	now := time.Unix(1000, 0)
+	for {
+		f := e.NextFrame()
+		if f.PTS > dur {
+			break
+		}
+		if f.Dropped {
+			continue
+		}
+		seg.WriteVideo(now.Add(f.PTS), f.PTS, f.DTS, f.Keyframe, avc.MarshalAnnexB(f.NALs))
+	}
+	seg.Finish(now.Add(dur))
+	var out [][]byte
+	for i := 0; i < seg.SegmentCount(); i++ {
+		if s, ok := seg.Segment(i); ok {
+			out = append(out, s.Data)
+		}
+	}
+	return out
+}
+
+// CorpusReports generates and analyzes the full §5.2 corpus: one Report
+// per RTMP capture (whole video) and one per HLS segment, exactly the
+// granularity of Fig. 6.
+func CorpusReports(cfg CorpusConfig) (rtmp []Report, hlsSegs []Report, segDurs []time.Duration) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Videos; i++ {
+		enc := media.RandomEncoderConfig(rng)
+		cap := GenerateRTMPCapture(enc, cfg.CaptureDur)
+		if rep, err := AnalyzeFLV(cap.Tags); err == nil {
+			rtmp = append(rtmp, rep)
+		}
+	}
+	for i := 0; i < cfg.Videos; i++ {
+		enc := media.RandomEncoderConfig(rng)
+		segs := GenerateHLSCapture(enc, cfg.CaptureDur, cfg.SegmentTarget)
+		segDurs = append(segDurs, SegmentDurations(segs)...)
+		for _, s := range segs {
+			if rep, err := AnalyzeTS(s); err == nil {
+				hlsSegs = append(hlsSegs, rep)
+			}
+		}
+	}
+	return rtmp, hlsSegs, segDurs
+}

@@ -1,0 +1,276 @@
+// Package mediaanalysis is the wireshark/libav substitute of §2: it walks
+// reconstructed streams — MPEG-TS segments for HLS, FLV video tags for
+// RTMP — parses the H.264 syntax (SPS for resolution, slice headers for
+// frame type and QP), and produces the per-video reports behind Fig. 6
+// (bitrate CDFs and the QP-vs-bitrate scatter) and the §5.2 statistics
+// (frame-type patterns, I-frame period, segment durations).
+package mediaanalysis
+
+import (
+	"errors"
+	"time"
+
+	"periscope/internal/avc"
+	"periscope/internal/flv"
+	"periscope/internal/mpegts"
+)
+
+// Report is the analysis of one captured video (a whole RTMP capture or
+// one HLS segment, matching the paper's per-video/per-segment granularity).
+type Report struct {
+	Protocol string
+	// BitrateBps is total video bytes over the covered media duration.
+	BitrateBps float64
+	// AvgQP is the mean slice quantization parameter.
+	AvgQP float64
+	// Pattern classifies the frame-type sequence.
+	Pattern FramePattern
+	// IPeriod is the mean distance between I frames, in frames (§5.2
+	// reports ~36).
+	IPeriod float64
+	// Width/Height from the SPS.
+	Width, Height int
+	// Duration is the covered media time.
+	Duration time.Duration
+	// Frames counts coded pictures seen.
+	Frames int
+	// FPS is Frames/Duration.
+	FPS float64
+}
+
+// FramePattern is the §5.2 classification.
+type FramePattern int
+
+// Patterns.
+const (
+	PatternUnknown FramePattern = iota
+	PatternIBP
+	PatternIP
+	PatternIOnly
+)
+
+func (p FramePattern) String() string {
+	switch p {
+	case PatternIBP:
+		return "IBP"
+	case PatternIP:
+		return "IP"
+	case PatternIOnly:
+		return "I-only"
+	default:
+		return "unknown"
+	}
+}
+
+// streamState accumulates per-stream parsing context.
+type streamState struct {
+	sps    *avc.SPS
+	pps    *avc.PPS
+	qpSum  float64
+	qpN    int
+	typesI int
+	typesP int
+	typesB int
+	frames int
+	bytes  int64
+	iGaps  []int
+	lastI  int
+	sawI   bool
+	width  int
+	height int
+}
+
+func (st *streamState) addNALs(units []avc.NALUnit, payloadBytes int) {
+	st.bytes += int64(payloadBytes)
+	for _, u := range units {
+		switch u.Type {
+		case avc.NALSPS:
+			if sps, err := avc.ParseSPS(u.RBSP); err == nil {
+				st.sps = &sps
+				st.width, st.height = sps.Width, sps.Height
+			}
+		case avc.NALPPS:
+			if pps, err := avc.ParsePPS(u.RBSP); err == nil {
+				st.pps = &pps
+			}
+		case avc.NALSliceIDR, avc.NALSliceNonIDR:
+			if st.sps == nil || st.pps == nil {
+				continue
+			}
+			h, err := avc.ParseSliceHeader(u, *st.sps)
+			if err != nil {
+				continue
+			}
+			st.frames++
+			st.qpSum += float64(h.QP(*st.pps))
+			st.qpN++
+			switch h.Type % 5 {
+			case avc.SliceI:
+				st.typesI++
+				if st.sawI {
+					st.iGaps = append(st.iGaps, st.frames-st.lastI)
+				}
+				st.sawI = true
+				st.lastI = st.frames
+			case avc.SliceP:
+				st.typesP++
+			case avc.SliceB:
+				st.typesB++
+			}
+		}
+	}
+}
+
+func (st *streamState) report(protocol string, dur time.Duration) Report {
+	r := Report{
+		Protocol: protocol,
+		Width:    st.width,
+		Height:   st.height,
+		Duration: dur,
+		Frames:   st.frames,
+	}
+	if dur > 0 {
+		r.BitrateBps = float64(st.bytes) * 8 / dur.Seconds()
+		r.FPS = float64(st.frames) / dur.Seconds()
+	}
+	if st.qpN > 0 {
+		r.AvgQP = st.qpSum / float64(st.qpN)
+	}
+	switch {
+	case st.typesB > 0:
+		r.Pattern = PatternIBP
+	case st.typesP > 0:
+		r.Pattern = PatternIP
+	case st.typesI > 0:
+		r.Pattern = PatternIOnly
+	}
+	if len(st.iGaps) > 0 {
+		sum := 0
+		for _, g := range st.iGaps {
+			sum += g
+		}
+		r.IPeriod = float64(sum) / float64(len(st.iGaps))
+	}
+	return r
+}
+
+// ErrNoVideo indicates the capture contained no parsable video.
+var ErrNoVideo = errors.New("mediaanalysis: no video found")
+
+// AnalyzeTS analyzes one or more MPEG-TS buffers (HLS segments) as a
+// single video.
+func AnalyzeTS(segments ...[]byte) (Report, error) {
+	st := &streamState{}
+	var minPTS, maxPTS int64 = -1, -1
+	var lastDur time.Duration
+	for _, seg := range segments {
+		units, err := mpegts.DemuxAll(seg)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, u := range units {
+			if u.PID != mpegts.PIDVideo {
+				continue
+			}
+			if minPTS == -1 || u.PTS < minPTS {
+				minPTS = u.PTS
+			}
+			if u.PTS > maxPTS {
+				maxPTS = u.PTS
+			}
+			nals, err := avc.ParseAnnexB(u.Data)
+			if err != nil {
+				continue
+			}
+			st.addNALs(nals, len(u.Data))
+		}
+	}
+	if st.frames == 0 || minPTS == -1 {
+		return Report{}, ErrNoVideo
+	}
+	dur := mpegts.FromTicks(maxPTS - minPTS)
+	if st.frames > 1 {
+		// Add one nominal frame interval so N frames spanning (N-1)
+		// intervals integrate to the true duration.
+		lastDur = dur / time.Duration(st.frames-1)
+	}
+	return st.report("HLS", dur+lastDur), nil
+}
+
+// TimedVideoTag is one RTMP video message as reconstructed from a capture.
+type TimedVideoTag struct {
+	TimestampMS uint32
+	Data        []byte // FLV video tag data
+}
+
+// AnalyzeFLV analyzes a sequence of RTMP video tags as one video.
+func AnalyzeFLV(tags []TimedVideoTag) (Report, error) {
+	st := &streamState{}
+	var minTS, maxTS uint32
+	first := true
+	for _, tag := range tags {
+		vt, err := flv.ParseVideoTagData(tag.Data)
+		if err != nil {
+			continue
+		}
+		switch vt.PacketType {
+		case flv.AVCSeqHeader:
+			if sps, pps, err := flv.ParseDecoderConfig(vt.Data); err == nil {
+				st.sps, st.pps = &sps, &pps
+				st.width, st.height = sps.Width, sps.Height
+			}
+		case flv.AVCNALU:
+			units, err := avc.ParseAVCC(vt.Data)
+			if err != nil {
+				continue
+			}
+			st.addNALs(units, len(vt.Data))
+			if first || tag.TimestampMS < minTS {
+				minTS = tag.TimestampMS
+			}
+			if first || tag.TimestampMS > maxTS {
+				maxTS = tag.TimestampMS
+			}
+			first = false
+		}
+	}
+	if st.frames == 0 {
+		return Report{}, ErrNoVideo
+	}
+	dur := time.Duration(maxTS-minTS) * time.Millisecond
+	if st.frames > 1 {
+		dur += dur / time.Duration(st.frames-1)
+	}
+	return st.report("RTMP", dur), nil
+}
+
+// SegmentDurations extracts per-segment media durations from TS segments,
+// for the §5.2 segment-duration histogram (3.6 s mode, 3-6 s range).
+func SegmentDurations(segments [][]byte) []time.Duration {
+	var out []time.Duration
+	for _, seg := range segments {
+		units, err := mpegts.DemuxAll(seg)
+		if err != nil {
+			continue
+		}
+		var minPTS, maxPTS int64 = -1, -1
+		frames := 0
+		for _, u := range units {
+			if u.PID != mpegts.PIDVideo {
+				continue
+			}
+			frames++
+			if minPTS == -1 || u.PTS < minPTS {
+				minPTS = u.PTS
+			}
+			if u.PTS > maxPTS {
+				maxPTS = u.PTS
+			}
+		}
+		if minPTS >= 0 && frames > 1 {
+			d := mpegts.FromTicks(maxPTS - minPTS)
+			out = append(out, d+d/time.Duration(frames-1))
+		}
+	}
+	return out
+}

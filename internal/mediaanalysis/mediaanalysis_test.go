@@ -1,0 +1,259 @@
+package mediaanalysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"periscope/internal/media"
+	"periscope/internal/stats"
+)
+
+func TestAnalyzeRTMPCapture(t *testing.T) {
+	enc := media.DefaultEncoderConfig()
+	enc.TargetBitrate = 320_000
+	enc.DropProb = 0
+	cap := GenerateRTMPCapture(enc, 30*time.Second)
+	rep, err := AnalyzeFLV(cap.Tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Protocol != "RTMP" {
+		t.Error("protocol tag wrong")
+	}
+	// The analyzer must recover the configured stream properties.
+	if !(rep.Width == 320 && rep.Height == 568) && !(rep.Width == 568 && rep.Height == 320) {
+		t.Errorf("resolution = %dx%d", rep.Width, rep.Height)
+	}
+	if rep.Pattern != PatternIBP {
+		t.Errorf("pattern = %v, want IBP", rep.Pattern)
+	}
+	if rep.IPeriod < 30 || rep.IPeriod > 42 {
+		t.Errorf("I period = %.1f, want ~36", rep.IPeriod)
+	}
+	if rep.BitrateBps < 150_000 || rep.BitrateBps > 700_000 {
+		t.Errorf("bitrate = %.0f", rep.BitrateBps)
+	}
+	if rep.AvgQP < float64(media.MinQP) || rep.AvgQP > float64(media.MaxQP) {
+		t.Errorf("QP = %.1f", rep.AvgQP)
+	}
+	if rep.FPS < 10 || rep.FPS > 31 {
+		t.Errorf("fps = %.1f", rep.FPS)
+	}
+}
+
+func TestAnalyzeIPOnlyPattern(t *testing.T) {
+	enc := media.DefaultEncoderConfig()
+	enc.Pattern = media.GOPIP
+	enc.DropProb = 0
+	cap := GenerateRTMPCapture(enc, 15*time.Second)
+	rep, err := AnalyzeFLV(cap.Tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pattern != PatternIP {
+		t.Errorf("pattern = %v, want IP", rep.Pattern)
+	}
+}
+
+func TestAnalyzeIOnlyPattern(t *testing.T) {
+	enc := media.DefaultEncoderConfig()
+	enc.Pattern = media.GOPIOnly
+	enc.DropProb = 0
+	cap := GenerateRTMPCapture(enc, 10*time.Second)
+	rep, err := AnalyzeFLV(cap.Tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pattern != PatternIOnly {
+		t.Errorf("pattern = %v, want I-only", rep.Pattern)
+	}
+}
+
+func TestAnalyzeHLSSegments(t *testing.T) {
+	enc := media.DefaultEncoderConfig()
+	enc.DropProb = 0
+	segs := GenerateHLSCapture(enc, 30*time.Second, 3600*time.Millisecond)
+	if len(segs) < 5 {
+		t.Fatalf("only %d segments", len(segs))
+	}
+	rep, err := AnalyzeTS(segs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Protocol != "HLS" {
+		t.Error("protocol tag wrong")
+	}
+	if rep.BitrateBps < 150_000 || rep.BitrateBps > 700_000 {
+		t.Errorf("bitrate = %.0f", rep.BitrateBps)
+	}
+	if rep.Pattern != PatternIBP {
+		t.Errorf("pattern = %v", rep.Pattern)
+	}
+}
+
+func TestSegmentDurations(t *testing.T) {
+	enc := media.DefaultEncoderConfig()
+	enc.DropProb = 0
+	segs := GenerateHLSCapture(enc, 60*time.Second, 3600*time.Millisecond)
+	durs := SegmentDurations(segs)
+	if len(durs) < 10 {
+		t.Fatalf("only %d durations", len(durs))
+	}
+	// All but the tail segment should land in the 3-6 s band of §5.2.
+	inBand := 0
+	for _, d := range durs {
+		if d >= 2900*time.Millisecond && d <= 6100*time.Millisecond {
+			inBand++
+		}
+	}
+	if inBand < len(durs)-1 {
+		t.Errorf("only %d/%d segment durations in [3,6]s", inBand, len(durs))
+	}
+}
+
+func TestCorpusReproducesFigure6Shape(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Videos = 40
+	cfg.CaptureDur = 20 * time.Second
+	rtmp, hlsSegs, segDurs := CorpusReports(cfg)
+	if len(rtmp) < 35 || len(hlsSegs) < 100 {
+		t.Fatalf("corpus too small: rtmp=%d hls=%d", len(rtmp), len(hlsSegs))
+	}
+
+	// Fig. 6(a): typical bitrates 200-400 kbps for both protocols.
+	med := func(reps []Report) float64 {
+		var xs []float64
+		for _, r := range reps {
+			xs = append(xs, r.BitrateBps)
+		}
+		return stats.Median(xs)
+	}
+	rtmpMed, hlsMed := med(rtmp), med(hlsSegs)
+	if rtmpMed < 180_000 || rtmpMed > 520_000 {
+		t.Errorf("RTMP median bitrate = %.0f, want ~200-400k", rtmpMed)
+	}
+	if hlsMed < 180_000 || hlsMed > 520_000 {
+		t.Errorf("HLS median bitrate = %.0f, want ~200-400k", hlsMed)
+	}
+
+	// Fig. 6(b): at similar QP, bitrate varies widely (content classes).
+	var lowQPRates []float64
+	for _, r := range append(append([]Report{}, rtmp...), hlsSegs...) {
+		if r.AvgQP >= 20 && r.AvgQP <= 32 {
+			lowQPRates = append(lowQPRates, r.BitrateBps)
+		}
+	}
+	if len(lowQPRates) > 10 {
+		spread := stats.Max(lowQPRates) / stats.Min(lowQPRates)
+		if spread < 2 {
+			t.Errorf("QP-band bitrate spread = %.1fx, want wide (content variability)", spread)
+		}
+	}
+
+	// Segment duration mode near 3.6 s.
+	var secs []float64
+	for _, d := range segDurs {
+		secs = append(secs, d.Seconds())
+	}
+	m := stats.Median(secs)
+	if m < 3.0 || m > 5.0 {
+		t.Errorf("median segment duration = %.2f s, want ~3.6-4.5", m)
+	}
+}
+
+func TestIOnlyCapturesFormTheBitrateTail(t *testing.T) {
+	// The paper attributes the RTMP bitrate maxima to poor-efficiency
+	// encodings (I-type frames only). An I-only capture must analyze to a
+	// substantially higher bitrate than a typical IBP one.
+	ibp := media.DefaultEncoderConfig()
+	ibp.DropProb = 0
+	ibpRep, err := AnalyzeFLV(GenerateRTMPCapture(ibp, 20*time.Second).Tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ionly := media.DefaultEncoderConfig()
+	ionly.Pattern = media.GOPIOnly
+	ionly.TargetBitrate = 900_000 // the class RandomEncoderConfig assigns
+	ionly.DropProb = 0
+	ioRep, err := AnalyzeFLV(GenerateRTMPCapture(ionly, 20*time.Second).Tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ioRep.BitrateBps < 1.5*ibpRep.BitrateBps {
+		t.Errorf("I-only bitrate %.0f not >> IBP %.0f", ioRep.BitrateBps, ibpRep.BitrateBps)
+	}
+}
+
+func TestCorpusPatternShares(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Videos = 120
+	cfg.CaptureDur = 10 * time.Second
+	rtmp, _, _ := CorpusReports(cfg)
+	counts := map[FramePattern]int{}
+	for _, r := range rtmp {
+		counts[r.Pattern]++
+	}
+	ipShare := float64(counts[PatternIP]) / float64(len(rtmp))
+	// Paper: 20.0% (RTMP) use I and P only.
+	if ipShare < 0.08 || ipShare > 0.35 {
+		t.Errorf("IP share = %.2f, want ~0.20", ipShare)
+	}
+	if counts[PatternIBP] < counts[PatternIP] {
+		t.Error("IBP must dominate")
+	}
+}
+
+func TestQPTracksContentComplexity(t *testing.T) {
+	// Static content should analyze to lower QP than high-motion content
+	// at the same target bitrate (the mechanism behind Fig. 6(b)).
+	mk := func(class media.ContentClass) float64 {
+		enc := media.DefaultEncoderConfig()
+		enc.Class = class
+		enc.DropProb = 0
+		enc.Seed = 42
+		cap := GenerateRTMPCapture(enc, 20*time.Second)
+		rep, err := AnalyzeFLV(cap.Tags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.AvgQP
+	}
+	if staticQP, motionQP := mk(media.ContentStatic), mk(media.ContentHighMotion); staticQP >= motionQP {
+		t.Errorf("static QP %.1f !< high-motion QP %.1f", staticQP, motionQP)
+	}
+}
+
+func TestAnalyzeEmptyInputs(t *testing.T) {
+	if _, err := AnalyzeFLV(nil); err != ErrNoVideo {
+		t.Errorf("err = %v, want ErrNoVideo", err)
+	}
+	if _, err := AnalyzeTS(); err == nil {
+		t.Error("want error for empty TS input")
+	}
+}
+
+func TestVariableFrameRateMeasured(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var fpsVals []float64
+	for i := 0; i < 10; i++ {
+		enc := media.RandomEncoderConfig(rng)
+		cap := GenerateRTMPCapture(enc, 10*time.Second)
+		rep, err := AnalyzeFLV(cap.Tags)
+		if err != nil {
+			continue
+		}
+		fpsVals = append(fpsVals, rep.FPS)
+	}
+	if len(fpsVals) < 8 {
+		t.Fatal("too few analyzable captures")
+	}
+	lo, hi := stats.Min(fpsVals), stats.Max(fpsVals)
+	if hi > 30.5 {
+		t.Errorf("fps above 30: %v", hi)
+	}
+	if math.Abs(hi-lo) < 2 {
+		t.Errorf("frame rate not variable: range [%v, %v]", lo, hi)
+	}
+}

@@ -1,0 +1,146 @@
+// Package mitm implements the intercepting proxy that stands in for the
+// mitmproxy deployment of §2: the Periscope app's HTTP(S) API traffic is
+// routed through the proxy, which can observe and rewrite requests and
+// responses via mitmproxy-style "inline scripts" (Go hooks here). The
+// crawler of §4 is implemented as exactly such a hook pair: it intercepts
+// /mapGeoBroadcastFeed requests, replays them with modified coordinates,
+// and harvests the responses.
+//
+// The study used the Android app because iOS pins certificates; in this
+// reproduction the service speaks plain HTTP to the proxy, which matches
+// the behaviour of a transparent mitmproxy after TLS termination.
+package mitm
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+)
+
+// Flow is one intercepted request/response exchange, mirroring the flow
+// object mitmproxy hands to inline scripts.
+type Flow struct {
+	Request  *http.Request
+	ReqBody  []byte
+	Response *http.Response
+	RespBody []byte
+}
+
+// Hooks are the inline-script callbacks. Either may be nil. OnRequest may
+// mutate the outgoing request (including its body via the returned slice);
+// OnResponse sees the response before it reaches the client.
+type Hooks struct {
+	// OnRequest is called before forwarding; returning a non-nil body
+	// replaces the request body.
+	OnRequest func(req *http.Request, body []byte) (newBody []byte)
+	// OnResponse is called with the upstream response before relaying.
+	OnResponse func(flow *Flow)
+}
+
+// Proxy is a transparent reverse proxy towards a fixed upstream (the
+// Periscope API endpoint), exposing inline-script hooks and a flow log.
+type Proxy struct {
+	upstream *url.URL
+	hooks    Hooks
+	client   *http.Client
+
+	mu    sync.Mutex
+	flows []*Flow
+	// KeepFlows controls whether exchanged flows are retained in memory.
+	KeepFlows bool
+}
+
+// NewProxy creates a proxy forwarding to upstreamURL. httpClient may be
+// nil for the default client (tests inject shaped clients).
+func NewProxy(upstreamURL string, hooks Hooks, httpClient *http.Client) (*Proxy, error) {
+	u, err := url.Parse(upstreamURL)
+	if err != nil {
+		return nil, err
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Proxy{upstream: u, hooks: hooks, client: httpClient, KeepFlows: true}, nil
+}
+
+// ServeHTTP forwards the request to the upstream, invoking hooks.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "proxy: reading request", http.StatusBadGateway)
+		return
+	}
+	r.Body.Close()
+
+	if p.hooks.OnRequest != nil {
+		if nb := p.hooks.OnRequest(r, body); nb != nil {
+			body = nb
+		}
+	}
+
+	outURL := *p.upstream
+	outURL.Path = r.URL.Path
+	outURL.RawQuery = r.URL.RawQuery
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, outURL.String(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "proxy: building request", http.StatusBadGateway)
+		return
+	}
+	out.Header = r.Header.Clone()
+	out.ContentLength = int64(len(body))
+
+	resp, err := p.client.Do(out)
+	if err != nil {
+		http.Error(w, "proxy: upstream unreachable", http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "proxy: reading response", http.StatusBadGateway)
+		return
+	}
+
+	flow := &Flow{Request: out, ReqBody: body, Response: resp, RespBody: respBody}
+	if p.hooks.OnResponse != nil {
+		p.hooks.OnResponse(flow)
+	}
+	if p.KeepFlows {
+		p.mu.Lock()
+		p.flows = append(p.flows, flow)
+		p.mu.Unlock()
+	}
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(flow.RespBody)
+}
+
+// Flows returns a snapshot of the intercepted exchanges.
+func (p *Proxy) Flows() []*Flow {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Flow(nil), p.flows...)
+}
+
+// DumpFlow renders a flow like mitmproxy's console view, for debugging.
+func DumpFlow(f *Flow) string {
+	var b bytes.Buffer
+	if req, err := httputil.DumpRequestOut(f.Request, false); err == nil {
+		b.Write(req)
+	}
+	b.Write(f.ReqBody)
+	b.WriteString("\n---\n")
+	if f.Response != nil {
+		b.WriteString(f.Response.Status + "\n")
+	}
+	b.Write(f.RespBody)
+	return b.String()
+}

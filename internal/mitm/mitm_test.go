@@ -1,0 +1,168 @@
+package mitm
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"periscope/internal/api"
+	"periscope/internal/broadcastmodel"
+)
+
+func TestProxyForwardsAndLogs(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("X-Upstream", "yes")
+		w.Write(append([]byte("echo:"), body...))
+	}))
+	defer upstream.Close()
+
+	p, err := NewProxy(upstream.URL, Hooks{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/api/v2/test", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "echo:hello" {
+		t.Errorf("body = %q", body)
+	}
+	if resp.Header.Get("X-Upstream") != "yes" {
+		t.Error("upstream headers not relayed")
+	}
+	flows := p.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if string(flows[0].ReqBody) != "hello" || string(flows[0].RespBody) != "echo:hello" {
+		t.Error("flow contents wrong")
+	}
+	if DumpFlow(flows[0]) == "" {
+		t.Error("DumpFlow empty")
+	}
+}
+
+func TestOnRequestRewritesBody(t *testing.T) {
+	// The §4 crawler is an inline script that replaces request contents
+	// (e.g. swapping the broadcast-id list into /getBroadcasts); verify
+	// that mechanism.
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	defer upstream.Close()
+	hooks := Hooks{
+		OnRequest: func(req *http.Request, body []byte) []byte {
+			return bytes.ToUpper(body)
+		},
+	}
+	p, err := NewProxy(upstream.URL, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+	resp, err := http.Post(front.URL+"/x", "text/plain", strings.NewReader("rewrite me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "REWRITE ME" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestOnResponseObserves(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"broadcasts":[]}`))
+	}))
+	defer upstream.Close()
+	var observed []string
+	hooks := Hooks{OnResponse: func(f *Flow) {
+		observed = append(observed, f.Request.URL.Path)
+	}}
+	p, err := NewProxy(upstream.URL, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+	http.Post(front.URL+"/api/v2/mapGeoBroadcastFeed", "application/json", strings.NewReader("{}"))
+	if len(observed) != 1 || observed[0] != "/api/v2/mapGeoBroadcastFeed" {
+		t.Errorf("observed = %v", observed)
+	}
+}
+
+func TestUpstreamUnreachable(t *testing.T) {
+	p, err := NewProxy("http://127.0.0.1:1", Hooks{}, &http.Client{Timeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+	resp, err := http.Post(front.URL+"/x", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestCrawlerThroughProxy wires the full §2 architecture: the API client
+// talks through the MITM proxy to the API server, and an inline-script
+// hook harvests the broadcasts from /mapGeoBroadcastFeed responses,
+// exactly like the paper's crawler.
+func TestCrawlerThroughProxy(t *testing.T) {
+	pc := broadcastmodel.DefaultConfig()
+	pc.TargetConcurrent = 300
+	pop := broadcastmodel.New(pc, time.Date(2016, 4, 1, 12, 0, 0, 0, time.UTC))
+	apiSrv := httptest.NewServer(api.NewServer(pop, nil, api.ServerConfig{MapVisibleCap: 50}))
+	defer apiSrv.Close()
+
+	harvested := map[string]bool{}
+	hooks := Hooks{OnResponse: func(f *Flow) {
+		if !strings.HasSuffix(f.Request.URL.Path, "mapGeoBroadcastFeed") {
+			return
+		}
+		var resp api.MapGeoBroadcastFeedResponse
+		if json.Unmarshal(f.RespBody, &resp) == nil {
+			for _, b := range resp.Broadcasts {
+				harvested[b.ID] = true
+			}
+		}
+	}}
+	p, err := NewProxy(apiSrv.URL, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	cli := api.NewClient(front.URL, "through-proxy", nil)
+	resp, err := cli.MapGeoBroadcastFeed(api.MapGeoBroadcastFeedRequest{
+		P1Lat: -90, P1Lng: -180, P2Lat: 90, P2Lng: 180,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Broadcasts) == 0 {
+		t.Fatal("client saw no broadcasts through the proxy")
+	}
+	if len(harvested) != len(resp.Broadcasts) {
+		t.Errorf("inline script harvested %d, client saw %d", len(harvested), len(resp.Broadcasts))
+	}
+}

@@ -1,0 +1,168 @@
+package mpegts
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AccessUnit is one reassembled PES payload with its stream context.
+type AccessUnit struct {
+	PID      uint16
+	StreamID uint8
+	PTS      int64
+	DTS      int64
+	Keyframe bool // random-access indicator seen on the first packet
+	Data     []byte
+}
+
+// Demuxer reassembles elementary streams from TS packets.
+type Demuxer struct {
+	pat     *PAT
+	pmt     *PMT
+	pending map[uint16]*pendingPES
+	units   []AccessUnit
+	// ContinuityErrors counts continuity-counter gaps (lost packets).
+	ContinuityErrors int
+	lastCC           map[uint16]uint8
+}
+
+type pendingPES struct {
+	data     []byte
+	keyframe bool
+}
+
+// NewDemuxer returns an empty demuxer.
+func NewDemuxer() *Demuxer {
+	return &Demuxer{pending: map[uint16]*pendingPES{}, lastCC: map[uint16]uint8{}}
+}
+
+// Feed consumes any whole packets in data (len must be a multiple of 188).
+func (d *Demuxer) Feed(data []byte) error {
+	if len(data)%PacketSize != 0 {
+		return fmt.Errorf("mpegts: feed length %d not a multiple of %d", len(data), PacketSize)
+	}
+	for i := 0; i+PacketSize <= len(data); i += PacketSize {
+		if err := d.feedPacket(data[i : i+PacketSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Demuxer) feedPacket(raw []byte) error {
+	pkt, err := ParsePacket(raw)
+	if err != nil {
+		return err
+	}
+	if last, ok := d.lastCC[pkt.PID]; ok && pkt.Payload != nil {
+		if (last+1)&0x0F != pkt.ContinuityCount {
+			d.ContinuityErrors++
+		}
+	}
+	if pkt.Payload != nil {
+		d.lastCC[pkt.PID] = pkt.ContinuityCount
+	}
+	switch pkt.PID {
+	case PIDPAT:
+		if pkt.PUSI && len(pkt.Payload) > 1 {
+			ptr := int(pkt.Payload[0])
+			if 1+ptr < len(pkt.Payload) {
+				if pat, err := ParsePAT(pkt.Payload[1+ptr:]); err == nil {
+					d.pat = &pat
+				}
+			}
+		}
+		return nil
+	case PIDNull:
+		return nil
+	}
+	if d.pat != nil && pkt.PID == d.pat.PMTPID {
+		if pkt.PUSI && len(pkt.Payload) > 1 {
+			ptr := int(pkt.Payload[0])
+			if 1+ptr < len(pkt.Payload) {
+				if pmt, err := ParsePMT(pkt.Payload[1+ptr:]); err == nil {
+					d.pmt = &pmt
+				}
+			}
+		}
+		return nil
+	}
+	// Elementary stream payload.
+	if pkt.PUSI {
+		d.flushPID(pkt.PID)
+		d.pending[pkt.PID] = &pendingPES{
+			data:     append([]byte(nil), pkt.Payload...),
+			keyframe: pkt.RandomAccess,
+		}
+		return nil
+	}
+	if p, ok := d.pending[pkt.PID]; ok {
+		p.data = append(p.data, pkt.Payload...)
+	}
+	return nil
+}
+
+func (d *Demuxer) flushPID(pid uint16) {
+	p, ok := d.pending[pid]
+	if !ok || len(p.data) == 0 {
+		return
+	}
+	delete(d.pending, pid)
+	pes, err := ParsePES(p.data)
+	if err != nil {
+		return // incomplete PES at stream start; drop silently
+	}
+	d.units = append(d.units, AccessUnit{
+		PID:      pid,
+		StreamID: pes.StreamID,
+		PTS:      pes.PTS,
+		DTS:      pes.DTS,
+		Keyframe: p.keyframe,
+		Data:     pes.Data,
+	})
+}
+
+// Flush finalizes any pending PES packets (call at end of stream).
+func (d *Demuxer) Flush() {
+	for pid := range d.pending {
+		d.flushPID(pid)
+	}
+}
+
+// Units returns and clears the reassembled access units.
+func (d *Demuxer) Units() []AccessUnit {
+	u := d.units
+	d.units = nil
+	return u
+}
+
+// PAT returns the last program association table seen, if any.
+func (d *Demuxer) PAT() (PAT, bool) {
+	if d.pat == nil {
+		return PAT{}, false
+	}
+	return *d.pat, true
+}
+
+// PMT returns the last program map table seen, if any.
+func (d *Demuxer) PMT() (PMT, bool) {
+	if d.pmt == nil {
+		return PMT{}, false
+	}
+	return *d.pmt, true
+}
+
+// DemuxAll is a convenience that demuxes a complete TS buffer (for example
+// one HLS segment) into access units.
+func DemuxAll(data []byte) ([]AccessUnit, error) {
+	d := NewDemuxer()
+	if err := d.Feed(data); err != nil {
+		return nil, err
+	}
+	d.Flush()
+	units := d.Units()
+	if len(units) == 0 {
+		return nil, errors.New("mpegts: no access units found")
+	}
+	return units, nil
+}

@@ -1,0 +1,122 @@
+package mpegts
+
+import (
+	"bytes"
+	"time"
+)
+
+// Muxer writes a single-program transport stream with one AVC video and
+// one AAC audio elementary stream, the layout observed in Periscope HLS
+// segments.
+type Muxer struct {
+	buf       bytes.Buffer
+	cc        map[uint16]*uint8
+	pat       PAT
+	pmt       PMT
+	wrotePSI  bool
+	psiPeriod int // access units between PSI refreshes
+	auCount   int
+}
+
+// NewMuxer returns a muxer ready to accept access units.
+func NewMuxer() *Muxer {
+	m := &Muxer{
+		cc: map[uint16]*uint8{},
+		pat: PAT{
+			TransportStreamID: 1,
+			ProgramNumber:     1,
+			PMTPID:            PIDPMT,
+		},
+		pmt: PMT{
+			ProgramNumber: 1,
+			PCRPID:        PIDVideo,
+			Streams: []PMTStream{
+				{StreamType: StreamTypeAVC, PID: PIDVideo},
+				{StreamType: StreamTypeAAC, PID: PIDAudio},
+			},
+		},
+		psiPeriod: 64,
+	}
+	for _, pid := range []uint16{PIDPAT, PIDPMT, PIDVideo, PIDAudio} {
+		var c uint8
+		m.cc[pid] = &c
+	}
+	return m
+}
+
+func (m *Muxer) nextCC(pid uint16) uint8 {
+	c := m.cc[pid]
+	v := *c
+	*c = (v + 1) & 0x0F
+	return v
+}
+
+// writePSI emits the PAT and PMT, each in its own packet with a pointer
+// field.
+func (m *Muxer) writePSI() {
+	for _, t := range []struct {
+		pid uint16
+		sec []byte
+	}{{PIDPAT, m.pat.Marshal()}, {PIDPMT, m.pmt.Marshal()}} {
+		payload := append([]byte{0}, t.sec...) // pointer_field = 0
+		for len(payload) > 0 {
+			pkt, n := buildPacket(t.pid, len(payload) == len(t.sec)+1, m.nextCC(t.pid), false, nil, payload)
+			m.buf.Write(pkt[:])
+			payload = payload[n:]
+		}
+	}
+	m.wrotePSI = true
+}
+
+// WriteVideo writes one video access unit (Annex B NAL stream) with the
+// given timestamps. Keyframes set the random-access indicator and carry a
+// PCR derived from the DTS.
+func (m *Muxer) WriteVideo(pts, dts time.Duration, keyframe bool, annexB []byte) {
+	m.maybePSI()
+	pes := PES{StreamID: StreamIDVideo, PTS: ToTicks(pts), DTS: ToTicks(dts), Data: annexB}
+	pcr := uint64(ToTicks(dts)) * 300
+	m.writePES(PIDVideo, pes, keyframe, &pcr)
+}
+
+// WriteAudio writes one audio access unit (ADTS frame).
+func (m *Muxer) WriteAudio(pts time.Duration, adts []byte) {
+	m.maybePSI()
+	pes := PES{StreamID: StreamIDAudio, PTS: ToTicks(pts), DTS: NoTimestamp, Data: adts}
+	m.writePES(PIDAudio, pes, false, nil)
+}
+
+func (m *Muxer) maybePSI() {
+	if !m.wrotePSI || m.auCount%m.psiPeriod == 0 {
+		m.writePSI()
+	}
+	m.auCount++
+}
+
+func (m *Muxer) writePES(pid uint16, pes PES, rai bool, pcr *uint64) {
+	payload := pes.Marshal()
+	first := true
+	for len(payload) > 0 {
+		var pkt [PacketSize]byte
+		var n int
+		if first {
+			pkt, n = buildPacket(pid, true, m.nextCC(pid), rai, pcr, payload)
+			first = false
+		} else {
+			pkt, n = buildPacket(pid, false, m.nextCC(pid), false, nil, payload)
+		}
+		m.buf.Write(pkt[:])
+		payload = payload[n:]
+	}
+}
+
+// Bytes returns the muxed stream so far and resets the internal buffer
+// (continuity counters persist, so successive calls produce splice-able
+// chunks — exactly how a live HLS segmenter drains the muxer per segment).
+func (m *Muxer) Bytes() []byte {
+	out := append([]byte(nil), m.buf.Bytes()...)
+	m.buf.Reset()
+	return out
+}
+
+// Len reports the bytes currently buffered.
+func (m *Muxer) Len() int { return m.buf.Len() }

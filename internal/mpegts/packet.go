@@ -1,0 +1,193 @@
+// Package mpegts implements the MPEG-2 Transport Stream container
+// (ISO/IEC 13818-1) used by HLS video segments: 188-byte packets, PAT/PMT
+// program tables with CRC32/MPEG-2, PES packetization with PTS/DTS, PCR
+// clock references and adaptation-field stuffing. The paper reconstructs
+// "an MPEG-TS file ready to be played" from each HTTP GET response; this
+// package is both the segment producer (service side) and the analyzer
+// substrate (measurement side).
+package mpegts
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PacketSize is the fixed TS packet size.
+const PacketSize = 188
+
+// SyncByte starts every TS packet.
+const SyncByte = 0x47
+
+// Well-known PIDs used by this single-program implementation.
+const (
+	PIDPAT   = 0x0000
+	PIDPMT   = 0x1000
+	PIDVideo = 0x0100
+	PIDAudio = 0x0101
+	PIDNull  = 0x1FFF
+)
+
+// Stream types carried in the PMT.
+const (
+	StreamTypeAVC = 0x1B // H.264 video
+	StreamTypeAAC = 0x0F // AAC audio in ADTS
+)
+
+// Packet is a parsed TS packet header plus its payload view.
+type Packet struct {
+	PID             uint16
+	PUSI            bool // payload_unit_start_indicator
+	ContinuityCount uint8
+	RandomAccess    bool // adaptation-field random_access_indicator
+	HasPCR          bool
+	PCR             uint64 // 27 MHz ticks
+	Payload         []byte
+}
+
+// ErrSync is returned when a packet does not begin with the sync byte.
+var ErrSync = errors.New("mpegts: missing sync byte")
+
+// ParsePacket decodes one 188-byte TS packet.
+func ParsePacket(b []byte) (Packet, error) {
+	if len(b) != PacketSize {
+		return Packet{}, fmt.Errorf("mpegts: packet size %d, want %d", len(b), PacketSize)
+	}
+	if b[0] != SyncByte {
+		return Packet{}, ErrSync
+	}
+	p := Packet{
+		PUSI:            b[1]&0x40 != 0,
+		PID:             uint16(b[1]&0x1F)<<8 | uint16(b[2]),
+		ContinuityCount: b[3] & 0x0F,
+	}
+	afc := b[3] >> 4 & 0x3
+	pos := 4
+	if afc&0x2 != 0 { // adaptation field present
+		afLen := int(b[4])
+		pos = 5 + afLen
+		if pos > PacketSize {
+			return Packet{}, errors.New("mpegts: adaptation field overflows packet")
+		}
+		if afLen > 0 {
+			flags := b[5]
+			p.RandomAccess = flags&0x40 != 0
+			if flags&0x10 != 0 && afLen >= 7 { // PCR flag
+				p.HasPCR = true
+				base := uint64(b[6])<<25 | uint64(b[7])<<17 | uint64(b[8])<<9 |
+					uint64(b[9])<<1 | uint64(b[10])>>7
+				ext := uint64(b[10]&1)<<8 | uint64(b[11])
+				p.PCR = base*300 + ext
+			}
+		}
+	}
+	if afc&0x1 != 0 { // payload present
+		p.Payload = b[pos:]
+	}
+	return p, nil
+}
+
+// header writes the 4-byte TS header into b.
+func header(b []byte, pid uint16, pusi bool, cc uint8, afc uint8) {
+	b[0] = SyncByte
+	b[1] = byte(pid >> 8 & 0x1F)
+	if pusi {
+		b[1] |= 0x40
+	}
+	b[2] = byte(pid)
+	b[3] = afc<<4 | cc&0x0F
+}
+
+// buildPacket assembles one TS packet: header, optional adaptation field
+// with PCR/random-access flags and stuffing, then as much payload as fits.
+// It returns the packet and the number of payload bytes consumed.
+func buildPacket(pid uint16, pusi bool, cc uint8, rai bool, pcr *uint64, payload []byte) ([PacketSize]byte, int) {
+	var pkt [PacketSize]byte
+	needAF := rai || pcr != nil
+	afLen := 0 // length byte value, excluding the length byte itself
+	if needAF {
+		afLen = 1 // flags byte
+		if pcr != nil {
+			afLen += 6
+		}
+	}
+	// Space left for payload after header (+ adaptation field if present).
+	space := PacketSize - 4
+	if needAF {
+		space -= 1 + afLen
+	}
+	n := len(payload)
+	if n > space {
+		n = space
+	}
+	if n < space {
+		// Stuff the gap by (possibly creating and) growing the adaptation
+		// field with 0xFF bytes.
+		pad := space - n
+		if !needAF {
+			needAF = true
+			if pad == 1 {
+				afLen = 0 // a zero-length adaptation field eats exactly 1 byte
+				pad = 0
+			} else {
+				afLen = 1
+				pad -= 2 // length byte + flags byte
+			}
+		}
+		afLen += pad
+	}
+	afc := uint8(0x1)
+	if needAF {
+		afc = 0x3
+	}
+	header(pkt[:], pid, pusi, cc, afc)
+	pos := 4
+	if needAF {
+		pkt[pos] = byte(afLen)
+		pos++
+		if afLen > 0 {
+			flags := byte(0)
+			if rai {
+				flags |= 0x40
+			}
+			if pcr != nil {
+				flags |= 0x10
+			}
+			pkt[pos] = flags
+			pos++
+			if pcr != nil {
+				base := *pcr / 300
+				ext := *pcr % 300
+				pkt[pos] = byte(base >> 25)
+				pkt[pos+1] = byte(base >> 17)
+				pkt[pos+2] = byte(base >> 9)
+				pkt[pos+3] = byte(base >> 1)
+				pkt[pos+4] = byte(base<<7) | 0x7E | byte(ext>>8)
+				pkt[pos+5] = byte(ext)
+				pos += 6
+			}
+			for pos < PacketSize-n {
+				pkt[pos] = 0xFF
+				pos++
+			}
+		}
+	}
+	copy(pkt[pos:], payload[:n])
+	return pkt, n
+}
+
+// CRC32 computes the CRC-32/MPEG-2 checksum used by PSI sections
+// (polynomial 0x04C11DB7, init 0xFFFFFFFF, no reflection, no final xor).
+func CRC32(data []byte) uint32 {
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		crc ^= uint32(b) << 24
+		for i := 0; i < 8; i++ {
+			if crc&0x80000000 != 0 {
+				crc = crc<<1 ^ 0x04C11DB7
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

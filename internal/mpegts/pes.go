@@ -1,0 +1,134 @@
+package mpegts
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Stream IDs for PES packets.
+const (
+	StreamIDVideo = 0xE0
+	StreamIDAudio = 0xC0
+)
+
+// ClockFrequency is the 90 kHz PES timestamp clock.
+const ClockFrequency = 90000
+
+// NoTimestamp marks an absent PTS/DTS.
+const NoTimestamp = int64(-1)
+
+// PES is a packetized elementary stream packet.
+type PES struct {
+	StreamID uint8
+	PTS      int64 // 90 kHz ticks, NoTimestamp if absent
+	DTS      int64 // 90 kHz ticks, NoTimestamp if absent
+	Data     []byte
+}
+
+// ToTicks converts a duration to 90 kHz ticks.
+func ToTicks(d time.Duration) int64 {
+	return int64(d) * ClockFrequency / int64(time.Second)
+}
+
+// FromTicks converts 90 kHz ticks to a duration.
+func FromTicks(t int64) time.Duration {
+	return time.Duration(t * int64(time.Second) / ClockFrequency)
+}
+
+// Marshal encodes the PES packet. Video PES uses packet length 0
+// (unbounded) when the payload exceeds 16 bits, as permitted for video.
+func (p PES) Marshal() []byte {
+	var flags byte
+	hdrLen := 0
+	if p.PTS != NoTimestamp {
+		flags |= 0x80
+		hdrLen += 5
+	}
+	if p.DTS != NoTimestamp && p.DTS != p.PTS {
+		flags |= 0x40
+		hdrLen += 5
+	}
+	pesLen := 3 + hdrLen + len(p.Data)
+	if pesLen > 0xFFFF {
+		pesLen = 0 // unbounded, video only
+	}
+	out := make([]byte, 0, 9+hdrLen+len(p.Data))
+	out = append(out, 0x00, 0x00, 0x01, p.StreamID)
+	out = append(out, byte(pesLen>>8), byte(pesLen))
+	out = append(out, 0x80) // marker '10', no scrambling
+	out = append(out, flags)
+	out = append(out, byte(hdrLen))
+	if flags&0x80 != 0 {
+		prefix := byte(0x2)
+		if flags&0x40 != 0 {
+			prefix = 0x3
+		}
+		out = appendTimestamp(out, prefix, p.PTS)
+	}
+	if flags&0x40 != 0 {
+		out = appendTimestamp(out, 0x1, p.DTS)
+	}
+	return append(out, p.Data...)
+}
+
+// appendTimestamp writes a 33-bit timestamp in the 5-byte marker format.
+func appendTimestamp(out []byte, prefix byte, ts int64) []byte {
+	v := uint64(ts) & 0x1FFFFFFFF
+	return append(out,
+		prefix<<4|byte(v>>29)&0x0E|1,
+		byte(v>>22),
+		byte(v>>14)|1,
+		byte(v>>7),
+		byte(v<<1)|1,
+	)
+}
+
+func parseTimestamp(b []byte) int64 {
+	return int64(b[0]>>1&0x7)<<30 | int64(b[1])<<22 |
+		int64(b[2]>>1)<<15 | int64(b[3])<<7 | int64(b[4]>>1)
+}
+
+// ParsePES decodes a PES packet (header plus all following bytes as data;
+// an unbounded length field is accepted).
+func ParsePES(b []byte) (PES, error) {
+	if len(b) < 9 {
+		return PES{}, errors.New("mpegts: PES too short")
+	}
+	if b[0] != 0 || b[1] != 0 || b[2] != 1 {
+		return PES{}, errors.New("mpegts: bad PES start code")
+	}
+	p := PES{StreamID: b[3], PTS: NoTimestamp, DTS: NoTimestamp}
+	pesLen := int(b[4])<<8 | int(b[5])
+	flags := b[7]
+	hdrLen := int(b[8])
+	dataStart := 9 + hdrLen
+	if dataStart > len(b) {
+		return PES{}, errors.New("mpegts: PES header overflows packet")
+	}
+	pos := 9
+	if flags&0x80 != 0 {
+		if pos+5 > len(b) {
+			return PES{}, errors.New("mpegts: truncated PTS")
+		}
+		p.PTS = parseTimestamp(b[pos : pos+5])
+		p.DTS = p.PTS
+		pos += 5
+	}
+	if flags&0x40 != 0 {
+		if pos+5 > len(b) {
+			return PES{}, errors.New("mpegts: truncated DTS")
+		}
+		p.DTS = parseTimestamp(b[pos : pos+5])
+	}
+	end := len(b)
+	if pesLen != 0 {
+		want := 6 + pesLen
+		if want > len(b) {
+			return PES{}, fmt.Errorf("mpegts: PES length %d exceeds buffer %d", want, len(b))
+		}
+		end = want
+	}
+	p.Data = b[dataStart:end]
+	return p, nil
+}

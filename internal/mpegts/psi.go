@@ -1,0 +1,127 @@
+package mpegts
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PAT is the program association table (single program).
+type PAT struct {
+	TransportStreamID uint16
+	ProgramNumber     uint16
+	PMTPID            uint16
+}
+
+// PMT is the program map table.
+type PMT struct {
+	ProgramNumber uint16
+	PCRPID        uint16
+	Streams       []PMTStream
+}
+
+// PMTStream is one elementary-stream entry in the PMT.
+type PMTStream struct {
+	StreamType uint8
+	PID        uint16
+}
+
+// marshalSection wraps a PSI table body in the section header and CRC and
+// returns the full section (starting at table_id).
+func marshalSection(tableID uint8, idExt uint16, body []byte) []byte {
+	// section_length covers everything after it, including the CRC.
+	sectionLen := 5 + len(body) + 4
+	sec := make([]byte, 0, 3+sectionLen)
+	sec = append(sec, tableID)
+	sec = append(sec, 0xB0|byte(sectionLen>>8), byte(sectionLen))
+	sec = binary.BigEndian.AppendUint16(sec, idExt)
+	sec = append(sec, 0xC1) // version 0, current_next 1
+	sec = append(sec, 0, 0) // section_number, last_section_number
+	sec = append(sec, body...)
+	crc := CRC32(sec)
+	return binary.BigEndian.AppendUint32(sec, crc)
+}
+
+// Marshal encodes the PAT as a PSI section.
+func (p PAT) Marshal() []byte {
+	body := make([]byte, 0, 4)
+	body = binary.BigEndian.AppendUint16(body, p.ProgramNumber)
+	body = append(body, 0xE0|byte(p.PMTPID>>8), byte(p.PMTPID))
+	return marshalSection(0x00, p.TransportStreamID, body)
+}
+
+// Marshal encodes the PMT as a PSI section.
+func (p PMT) Marshal() []byte {
+	body := make([]byte, 0, 4+5*len(p.Streams))
+	body = append(body, 0xE0|byte(p.PCRPID>>8), byte(p.PCRPID))
+	body = append(body, 0xF0, 0x00) // program_info_length = 0
+	for _, s := range p.Streams {
+		body = append(body, s.StreamType)
+		body = append(body, 0xE0|byte(s.PID>>8), byte(s.PID))
+		body = append(body, 0xF0, 0x00) // ES_info_length = 0
+	}
+	return marshalSection(0x02, p.ProgramNumber, body)
+}
+
+// checkSection validates the generic section framing and CRC, returning the
+// body (between last_section_number and the CRC).
+func checkSection(sec []byte, wantTableID uint8) (idExt uint16, body []byte, err error) {
+	if len(sec) < 12 {
+		return 0, nil, errors.New("mpegts: PSI section too short")
+	}
+	if sec[0] != wantTableID {
+		return 0, nil, fmt.Errorf("mpegts: table id %#x, want %#x", sec[0], wantTableID)
+	}
+	sectionLen := int(sec[1]&0x0F)<<8 | int(sec[2])
+	total := 3 + sectionLen
+	if total > len(sec) {
+		return 0, nil, errors.New("mpegts: truncated PSI section")
+	}
+	sec = sec[:total]
+	if CRC32(sec[:total-4]) != binary.BigEndian.Uint32(sec[total-4:]) {
+		return 0, nil, errors.New("mpegts: PSI CRC mismatch")
+	}
+	return binary.BigEndian.Uint16(sec[3:5]), sec[8 : total-4], nil
+}
+
+// ParsePAT decodes a PAT section.
+func ParsePAT(sec []byte) (PAT, error) {
+	idExt, body, err := checkSection(sec, 0x00)
+	if err != nil {
+		return PAT{}, err
+	}
+	if len(body) < 4 {
+		return PAT{}, errors.New("mpegts: PAT body too short")
+	}
+	return PAT{
+		TransportStreamID: idExt,
+		ProgramNumber:     binary.BigEndian.Uint16(body[0:2]),
+		PMTPID:            binary.BigEndian.Uint16(body[2:4]) & 0x1FFF,
+	}, nil
+}
+
+// ParsePMT decodes a PMT section.
+func ParsePMT(sec []byte) (PMT, error) {
+	idExt, body, err := checkSection(sec, 0x02)
+	if err != nil {
+		return PMT{}, err
+	}
+	if len(body) < 4 {
+		return PMT{}, errors.New("mpegts: PMT body too short")
+	}
+	pmt := PMT{
+		ProgramNumber: idExt,
+		PCRPID:        binary.BigEndian.Uint16(body[0:2]) & 0x1FFF,
+	}
+	progInfoLen := int(binary.BigEndian.Uint16(body[2:4]) & 0x0FFF)
+	p := 4 + progInfoLen
+	for p+5 <= len(body) {
+		esInfoLen := int(binary.BigEndian.Uint16(body[p+3:p+5]) & 0x0FFF)
+		pmt.Streams = append(pmt.Streams, PMTStream{
+			StreamType: body[p],
+			PID:        binary.BigEndian.Uint16(body[p+1:p+3]) & 0x1FFF,
+		})
+		p += 5 + esInfoLen
+	}
+	return pmt, nil
+}

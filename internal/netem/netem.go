@@ -1,0 +1,233 @@
+// Package netem emulates the access-network conditions the study imposed
+// with the Linux tc command (§2): token-bucket bandwidth limiting,
+// propagation delay, and byte metering on arbitrary net.Conn transports.
+// Experiments wrap the viewer's connections in a Shaper to sweep the
+// 0.5-10 Mbps limits of Figures 3 and 4.
+package netem
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a thread-safe token bucket. Tokens are bytes.
+type TokenBucket struct {
+	mu       sync.Mutex
+	rate     float64 // bytes per second
+	burst    float64
+	tokens   float64
+	lastFill time.Time
+}
+
+// NewTokenBucket creates a bucket with the given rate (bytes/s) and burst
+// size (bytes). A rate of 0 means unlimited.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, lastFill: time.Now()}
+}
+
+// Take consumes n bytes of tokens, sleeping long enough to keep the
+// long-run rate at the configured limit. Debt is allowed (a single request
+// larger than the burst is paced rather than dead-locked), matching how a
+// tc token-bucket qdisc drains an oversized backlog.
+func (tb *TokenBucket) Take(n int) {
+	if tb == nil || tb.rate <= 0 {
+		return
+	}
+	tb.mu.Lock()
+	now := time.Now()
+	tb.tokens += tb.rate * now.Sub(tb.lastFill).Seconds()
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.lastFill = now
+	tb.tokens -= float64(n)
+	var wait time.Duration
+	if tb.tokens < 0 {
+		wait = time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+	}
+	tb.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Shaper bundles the downlink/uplink rate limits and extra latency applied
+// to a connection, plus shared byte meters.
+type Shaper struct {
+	// DownlinkBps and UplinkBps are limits in bits per second (0 = none).
+	DownlinkBps float64
+	UplinkBps   float64
+	// Latency is one-way extra delay added to the first byte of each Read.
+	Latency time.Duration
+
+	downBucket *TokenBucket
+	upBucket   *TokenBucket
+	once       sync.Once
+
+	mu       sync.Mutex
+	bytesIn  int64
+	bytesOut int64
+}
+
+// NewShaper builds a shaper limiting both directions to bps bits/second
+// (the paper applied tc limits on the tethering host).
+func NewShaper(bps float64) *Shaper {
+	return &Shaper{DownlinkBps: bps, UplinkBps: bps}
+}
+
+func (s *Shaper) init() {
+	s.once.Do(func() {
+		if s.DownlinkBps > 0 {
+			// Burst of 32 KB approximates a typical queue depth.
+			s.downBucket = NewTokenBucket(s.DownlinkBps/8, 32*1024)
+		}
+		if s.UplinkBps > 0 {
+			s.upBucket = NewTokenBucket(s.UplinkBps/8, 32*1024)
+		}
+	})
+}
+
+// BytesIn reports total bytes read through shaped connections.
+func (s *Shaper) BytesIn() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesIn
+}
+
+// BytesOut reports total bytes written through shaped connections.
+func (s *Shaper) BytesOut() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesOut
+}
+
+// Conn wraps nc with this shaper. Multiple conns share the same buckets,
+// modelling a single bottleneck access link.
+func (s *Shaper) Conn(nc net.Conn) net.Conn {
+	s.init()
+	return &shapedConn{Conn: nc, s: s}
+}
+
+type shapedConn struct {
+	net.Conn
+	s       *Shaper
+	delayed bool
+}
+
+func (c *shapedConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		if !c.delayed && c.s.Latency > 0 {
+			time.Sleep(c.s.Latency)
+			c.delayed = true
+		}
+		c.s.downBucket.Take(n)
+		c.s.mu.Lock()
+		c.s.bytesIn += int64(n)
+		c.s.mu.Unlock()
+	}
+	return n, err
+}
+
+func (c *shapedConn) Write(b []byte) (int, error) {
+	c.s.upBucket.Take(len(b))
+	n, err := c.Conn.Write(b)
+	if n > 0 {
+		c.s.mu.Lock()
+		c.s.bytesOut += int64(n)
+		c.s.mu.Unlock()
+	}
+	return n, err
+}
+
+// Dialer returns a net.Dial-compatible function routing through the shaper.
+func (s *Shaper) Dialer() func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		nc, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return s.Conn(nc), nil
+	}
+}
+
+// HTTPClient returns an *http.Client whose connections pass through the
+// shaper (used by the HLS client and the API/chat clients).
+func (s *Shaper) HTTPClient() *http.Client {
+	dial := s.Dialer()
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				return dial(network, addr)
+			},
+			// One bottleneck link: keep connection reuse on, as phones do.
+			MaxIdleConnsPerHost: 8,
+		},
+	}
+}
+
+// Mbps converts megabits/second to bits/second for Shaper fields.
+func Mbps(v float64) float64 { return v * 1e6 }
+
+// RateMeter computes a windowed throughput estimate from byte timestamps,
+// the tool behind "we saw an increase of the aggregate data rate from
+// roughly 500kbps to 3.5Mbps" (§5.1).
+type RateMeter struct {
+	mu      sync.Mutex
+	window  time.Duration
+	samples []rateSample
+	total   int64
+}
+
+type rateSample struct {
+	t time.Time
+	n int64
+}
+
+// NewRateMeter creates a meter with the given averaging window.
+func NewRateMeter(window time.Duration) *RateMeter {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &RateMeter{window: window}
+}
+
+// Add records n bytes at time t.
+func (m *RateMeter) Add(t time.Time, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = append(m.samples, rateSample{t, n})
+	m.total += n
+	m.gc(t)
+}
+
+func (m *RateMeter) gc(now time.Time) {
+	cut := now.Add(-m.window)
+	i := 0
+	for i < len(m.samples) && m.samples[i].t.Before(cut) {
+		i++
+	}
+	m.samples = m.samples[i:]
+}
+
+// RateBps returns the current windowed rate in bits per second.
+func (m *RateMeter) RateBps(now time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gc(now)
+	var bytes int64
+	for _, s := range m.samples {
+		bytes += s.n
+	}
+	return float64(bytes) * 8 / m.window.Seconds()
+}
+
+// Total returns all bytes ever recorded.
+func (m *RateMeter) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}

@@ -1,0 +1,130 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	tb := NewTokenBucket(0, 0)
+	done := make(chan struct{})
+	go func() {
+		tb.Take(1 << 30)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("unlimited bucket blocked")
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	// 1 MB/s, tiny burst: taking 200 KB must take roughly 0.2 s.
+	tb := NewTokenBucket(1e6, 10_000)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		tb.Take(10_000)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 120*time.Millisecond || elapsed > 600*time.Millisecond {
+		t.Errorf("200KB at 1MB/s took %v, want ~190ms", elapsed)
+	}
+}
+
+func TestShaperLimitsThroughput(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	payload := make([]byte, 400_000) // 3.2 Mbit
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write(payload)
+	}()
+
+	s := NewShaper(Mbps(8)) // 8 Mbps => ~0.4 s for 3.2 Mbit
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped := s.Conn(nc)
+	defer shaped.Close()
+	start := time.Now()
+	got, err := io.ReadAll(shaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(got) != len(payload) {
+		t.Fatalf("read %d bytes", len(got))
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Errorf("download finished in %v; shaping ineffective", elapsed)
+	}
+	if s.BytesIn() != int64(len(payload)) {
+		t.Errorf("BytesIn = %d", s.BytesIn())
+	}
+}
+
+func TestShaperLatency(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("x"))
+	}()
+	s := &Shaper{Latency: 100 * time.Millisecond}
+	nc, _ := net.Dial("tcp", ln.Addr().String())
+	shaped := s.Conn(nc)
+	defer shaped.Close()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(shaped, buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 90*time.Millisecond {
+		t.Errorf("first byte after %v, want >= 100ms", e)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(time.Second)
+	base := time.Unix(100, 0)
+	// 125000 bytes over one second = 1 Mbps.
+	for i := 0; i < 10; i++ {
+		m.Add(base.Add(time.Duration(i)*100*time.Millisecond), 12_500)
+	}
+	rate := m.RateBps(base.Add(time.Second))
+	if rate < 0.8e6 || rate > 1.2e6 {
+		t.Errorf("rate = %v, want ~1e6", rate)
+	}
+	if m.Total() != 125_000 {
+		t.Errorf("total = %d", m.Total())
+	}
+	// Old samples age out.
+	rate = m.RateBps(base.Add(5 * time.Second))
+	if rate != 0 {
+		t.Errorf("rate after window = %v, want 0", rate)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if Mbps(2) != 2e6 {
+		t.Errorf("Mbps(2) = %v", Mbps(2))
+	}
+}

@@ -1,0 +1,238 @@
+package player
+
+import (
+	"testing"
+	"time"
+)
+
+func sec(f float64) time.Duration { return time.Duration(f * float64(time.Second)) }
+
+func TestEngineSmoothPlayback(t *testing.T) {
+	// Chunks arriving ahead of consumption: no stalls, small join time.
+	e := Engine{Startup: sec(1), Resume: sec(1)}
+	var chunks []Chunk
+	for i := 0; i < 60; i++ {
+		chunks = append(chunks, Chunk{
+			Arrival:    sec(float64(i) * 0.9), // slightly faster than real time
+			MediaStart: sec(float64(i)),
+			MediaEnd:   sec(float64(i) + 1),
+			CaptureEnd: sec(float64(i) * 0.9),
+		})
+	}
+	m := e.Run(chunks, sec(60))
+	if m.StallCount != 0 {
+		t.Errorf("stalls = %d, want 0", m.StallCount)
+	}
+	if m.JoinTime > sec(1) {
+		t.Errorf("join = %v", m.JoinTime)
+	}
+	if m.PlayTime < sec(50) {
+		t.Errorf("play time = %v", m.PlayTime)
+	}
+	if m.StallRatio != 0 {
+		t.Errorf("stall ratio = %v", m.StallRatio)
+	}
+}
+
+func TestEngineGapCausesStall(t *testing.T) {
+	e := Engine{Startup: sec(1), Resume: sec(1)}
+	var chunks []Chunk
+	// 10 seconds of smooth media, then a 5-second delivery gap, then more.
+	for i := 0; i < 10; i++ {
+		chunks = append(chunks, Chunk{Arrival: sec(float64(i)), MediaStart: sec(float64(i)), MediaEnd: sec(float64(i) + 1), CaptureEnd: sec(float64(i))})
+	}
+	for i := 10; i < 40; i++ {
+		chunks = append(chunks, Chunk{Arrival: sec(float64(i) + 5), MediaStart: sec(float64(i)), MediaEnd: sec(float64(i) + 1), CaptureEnd: sec(float64(i) + 5)})
+	}
+	m := e.Run(chunks, sec(45))
+	if m.StallCount == 0 {
+		t.Fatal("gap produced no stall")
+	}
+	if m.StallTime < sec(2) || m.StallTime > sec(8) {
+		t.Errorf("stall time = %v, want ~4-5s", m.StallTime)
+	}
+	if m.AvgStall <= 0 {
+		t.Error("avg stall not computed")
+	}
+}
+
+func TestEngineNeverStarts(t *testing.T) {
+	e := Engine{Startup: sec(5), Resume: sec(5)}
+	// Only 2 seconds of media ever arrive: playback never begins.
+	chunks := []Chunk{{Arrival: sec(1), MediaStart: 0, MediaEnd: sec(2), CaptureEnd: sec(1)}}
+	m := e.Run(chunks, sec(60))
+	if m.JoinTime != sec(60) {
+		t.Errorf("join = %v, want full session", m.JoinTime)
+	}
+	if m.PlayTime != 0 {
+		t.Errorf("play = %v, want 0", m.PlayTime)
+	}
+}
+
+func TestEngineAccountingIdentity(t *testing.T) {
+	// join + play + stall must cover the session (the paper derives join
+	// time as 60 − play − stall).
+	e := Engine{Startup: sec(1), Resume: sec(1)}
+	var chunks []Chunk
+	for i := 0; i < 30; i++ {
+		at := float64(i) * 1.8 // slower than real time: repeated stalls
+		chunks = append(chunks, Chunk{Arrival: sec(at), MediaStart: sec(float64(i)), MediaEnd: sec(float64(i) + 1), CaptureEnd: sec(at)})
+	}
+	session := sec(60)
+	m := e.Run(chunks, session)
+	total := m.JoinTime + m.PlayTime + m.StallTime
+	diff := total - session
+	if diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("join %v + play %v + stall %v = %v != %v", m.JoinTime, m.PlayTime, m.StallTime, total, session)
+	}
+}
+
+func TestEngineLatencyReflectsBuffering(t *testing.T) {
+	// Chunks arrive instantly (capture == arrival): playback latency must
+	// be dominated by the startup buffer depth.
+	for _, startup := range []time.Duration{sec(1), sec(4)} {
+		e := Engine{Startup: startup, Resume: startup}
+		var chunks []Chunk
+		for i := 0; i < 58; i++ {
+			chunks = append(chunks, Chunk{Arrival: sec(float64(i)), MediaStart: sec(float64(i)), MediaEnd: sec(float64(i) + 1), CaptureEnd: sec(float64(i))})
+		}
+		m := e.Run(chunks, sec(60))
+		if m.PlaybackLatency < startup-sec(0.5) {
+			t.Errorf("startup %v: playback latency %v too small", startup, m.PlaybackLatency)
+		}
+	}
+}
+
+func TestSimulateRTMPUnlimited(t *testing.T) {
+	stalls, joins := 0, time.Duration(0)
+	n := 60
+	for seed := int64(0); seed < int64(n); seed++ {
+		cfg := DefaultSimConfig(seed)
+		cfg.BroadcasterGapProb = 0 // isolate the network path
+		m := SimulateRTMP(cfg)
+		if m.Protocol != "RTMP" {
+			t.Fatal("wrong protocol tag")
+		}
+		stalls += m.StallCount
+		joins += m.JoinTime
+		if m.Delivered == 0 {
+			t.Fatalf("seed %d: no chunks delivered", seed)
+		}
+	}
+	if avgJoin := joins / time.Duration(n); avgJoin > 4*time.Second {
+		t.Errorf("avg join on unlimited link = %v, want small", avgJoin)
+	}
+	if float64(stalls)/float64(n) > 0.5 {
+		t.Errorf("too many stalls on unlimited link: %d in %d sessions", stalls, n)
+	}
+}
+
+func TestSimulateRTMPBandwidthBoundary(t *testing.T) {
+	// The paper's headline: stalling grows sharply below 2 Mbps.
+	avgRatio := func(mbps float64) float64 {
+		var sum float64
+		n := 80
+		for seed := int64(0); seed < int64(n); seed++ {
+			cfg := DefaultSimConfig(seed)
+			cfg.BandwidthBps = mbps * 1e6
+			cfg.Viewers = 40 // active chat competing for the link
+			m := SimulateRTMP(cfg)
+			sum += m.StallRatio
+		}
+		return sum / float64(n)
+	}
+	low := avgRatio(0.5)
+	mid := avgRatio(1)
+	high := avgRatio(4)
+	if !(low > mid && mid > high) {
+		t.Errorf("stall ratio not decreasing: 0.5Mbps=%.3f 1Mbps=%.3f 4Mbps=%.3f", low, mid, high)
+	}
+	if low < 0.1 {
+		t.Errorf("0.5 Mbps stall ratio %.3f too small", low)
+	}
+	if high > 0.05 {
+		t.Errorf("4 Mbps stall ratio %.3f too large", high)
+	}
+}
+
+func TestSimulateHLSLatencyExceedsRTMP(t *testing.T) {
+	var rtmpSum, hlsSum time.Duration
+	n := 60
+	for seed := int64(0); seed < int64(n); seed++ {
+		cfg := DefaultSimConfig(seed)
+		rtmpSum += SimulateRTMP(cfg).DeliveryLatency
+		hlsSum += SimulateHLS(cfg).DeliveryLatency
+	}
+	rtmpAvg := rtmpSum / time.Duration(n)
+	hlsAvg := hlsSum / time.Duration(n)
+	if hlsAvg < 3*rtmpAvg {
+		t.Errorf("HLS delivery %v not >> RTMP %v", hlsAvg, rtmpAvg)
+	}
+	if hlsAvg < 4*time.Second {
+		t.Errorf("HLS delivery latency %v, paper reports >5s", hlsAvg)
+	}
+	if rtmpAvg > time.Second {
+		t.Errorf("RTMP delivery latency %v, paper reports <300ms for 75%%", rtmpAvg)
+	}
+}
+
+func TestSimulateHLSStallsRarer(t *testing.T) {
+	// Same broadcaster gaps; HLS's segment buffer rides them out.
+	var rtmpStalls, hlsStalls int
+	n := 100
+	for seed := int64(0); seed < int64(n); seed++ {
+		cfg := DefaultSimConfig(seed)
+		cfg.BroadcasterGapProb = 0.35
+		rtmpStalls += SimulateRTMP(cfg).StallCount
+		hlsStalls += SimulateHLS(cfg).StallCount
+	}
+	if hlsStalls >= rtmpStalls {
+		t.Errorf("HLS stalls %d not < RTMP stalls %d", hlsStalls, rtmpStalls)
+	}
+}
+
+func TestSimulateRTMPGapProducesCharacteristicStall(t *testing.T) {
+	// With a forced gap, the stall ratio should land near the 0.05-0.09
+	// band of Fig. 3(a) (a single ~3-5 s stall in a 60 s session).
+	found := 0
+	for seed := int64(0); seed < 60; seed++ {
+		cfg := DefaultSimConfig(seed)
+		cfg.BroadcasterGapProb = 1
+		m := SimulateRTMP(cfg)
+		if m.StallRatio >= 0.03 && m.StallRatio <= 0.12 {
+			found++
+		}
+	}
+	if found < 20 {
+		t.Errorf("only %d/60 gap sessions in the 0.03-0.12 stall-ratio band", found)
+	}
+}
+
+func TestSimJoinTimeGrowsWhenLimited(t *testing.T) {
+	join := func(mbps float64) time.Duration {
+		var sum time.Duration
+		n := 50
+		for seed := int64(0); seed < int64(n); seed++ {
+			cfg := DefaultSimConfig(seed)
+			cfg.BandwidthBps = mbps * 1e6
+			sum += SimulateRTMP(cfg).JoinTime
+		}
+		return sum / 50
+	}
+	slow := join(0.5)
+	fast := join(10)
+	if slow <= fast {
+		t.Errorf("join at 0.5Mbps %v not > join at 10Mbps %v", slow, fast)
+	}
+}
+
+func TestSyncErrorShiftsDelivery(t *testing.T) {
+	cfg := DefaultSimConfig(7)
+	cfg.SyncErr = -50 * time.Millisecond
+	base := DefaultSimConfig(7)
+	withErr := SimulateRTMP(cfg)
+	without := SimulateRTMP(base)
+	if withErr.DeliveryLatency >= without.DeliveryLatency {
+		t.Errorf("negative sync error did not lower measured delivery latency")
+	}
+}

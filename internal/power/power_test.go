@@ -1,0 +1,152 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"periscope/internal/capture"
+)
+
+func TestHomeScreenMatchesPaper(t *testing.T) {
+	m := NewModel()
+	s := StandardScenarios(time.Minute)[0]
+	wifi := m.Average(s, WiFi)
+	lte := m.Average(s, LTE)
+	if math.Abs(wifi-1067) > 5 {
+		t.Errorf("home WiFi = %.0f, paper 1067", wifi)
+	}
+	if math.Abs(lte-1006) > 5 {
+		t.Errorf("home LTE = %.0f, paper 1006", lte)
+	}
+}
+
+func TestAllScenariosWithinTolerance(t *testing.T) {
+	m := NewModel()
+	paper := PaperValues()
+	const tolerance = 0.08 // 8%
+	for _, s := range StandardScenarios(time.Minute) {
+		for _, net := range []Network{WiFi, LTE} {
+			got := m.Average(s, net)
+			want := paper[s.Name][net]
+			if want == 0 {
+				t.Fatalf("no paper value for %s/%v", s.Name, net)
+			}
+			if rel := math.Abs(got-want) / want; rel > tolerance {
+				t.Errorf("%s on %v: model %.0f vs paper %.0f (%.1f%% off)",
+					s.Name, net, got, want, rel*100)
+			}
+		}
+	}
+}
+
+func TestChatDominatesPower(t *testing.T) {
+	// §5.3: enabling chat raises power dramatically — close to
+	// broadcasting levels.
+	m := NewModel()
+	scns := StandardScenarios(time.Minute)
+	byName := map[string]Scenario{}
+	for _, s := range scns {
+		byName[s.Name] = s
+	}
+	for _, net := range []Network{WiFi, LTE} {
+		off := m.Average(byName[ScenarioHLS], net)
+		on := m.Average(byName[ScenarioHLSChat], net)
+		bcast := m.Average(byName[ScenarioBroadcast], net)
+		if on < off+1000 {
+			t.Errorf("%v: chat on %.0f not >> chat off %.0f", net, on, off)
+		}
+		if math.Abs(on-bcast) > 0.35*bcast {
+			t.Errorf("%v: chat on %.0f should approach broadcast %.0f", net, on, bcast)
+		}
+	}
+}
+
+func TestLTECostlierWhenActive(t *testing.T) {
+	m := NewModel()
+	for _, s := range StandardScenarios(time.Minute) {
+		if s.Name == ScenarioHomeScreen {
+			continue // idle LTE is cheaper, as in the paper
+		}
+		wifi := m.Average(s, WiFi)
+		lte := m.Average(s, LTE)
+		if lte <= wifi {
+			t.Errorf("%s: LTE %.0f not > WiFi %.0f", s.Name, lte, wifi)
+		}
+	}
+}
+
+func TestRTMPvsHLSSmallDifference(t *testing.T) {
+	// "The power consumption difference of RTMP vs HLS is very small."
+	m := NewModel()
+	scns := StandardScenarios(time.Minute)
+	var rtmp, hlsOff Scenario
+	for _, s := range scns {
+		switch s.Name {
+		case ScenarioRTMP:
+			rtmp = s
+		case ScenarioHLS:
+			hlsOff = s
+		}
+	}
+	for _, net := range []Network{WiFi, LTE} {
+		a, b := m.Average(rtmp, net), m.Average(hlsOff, net)
+		if math.Abs(a-b)/a > 0.10 {
+			t.Errorf("%v: RTMP %.0f vs HLS %.0f differ more than 10%%", net, a, b)
+		}
+	}
+}
+
+func TestRadioTailBehaviour(t *testing.T) {
+	// One burst then silence: LTE must burn tail power far longer.
+	buckets := make([]int64, 50) // 5 s
+	buckets[0] = 100_000
+	tl := capture.SyntheticTimeline(100*time.Millisecond, buckets)
+	wifi := WiFiRadio().Average(tl)
+	lte := LTERadio().Average(tl)
+	if lte < 2*wifi {
+		t.Errorf("LTE burst+tail avg %.0f not >> WiFi %.0f", lte, wifi)
+	}
+	// And an empty timeline sits at idle.
+	idleTL := capture.SyntheticTimeline(100*time.Millisecond, make([]int64, 50))
+	if got := LTERadio().Average(idleTL); math.Abs(got-LTERadio().IdleMW) > 0.01 {
+		t.Errorf("idle LTE = %v", got)
+	}
+}
+
+func TestRadioThroughputScaling(t *testing.T) {
+	slow := WiFiRadio().Average(constantRate(time.Minute, 300_000))
+	fast := WiFiRadio().Average(constantRate(time.Minute, 3_000_000))
+	if fast <= slow {
+		t.Error("radio power must grow with throughput")
+	}
+}
+
+func TestReplayEqualsLivePlayback(t *testing.T) {
+	// "Playing back old recorded videos consume an equal amount of power
+	// as playing back live videos" — within ~10%.
+	m := NewModel()
+	scns := StandardScenarios(time.Minute)
+	var replay, rtmp Scenario
+	for _, s := range scns {
+		switch s.Name {
+		case ScenarioReplay:
+			replay = s
+		case ScenarioRTMP:
+			rtmp = s
+		}
+	}
+	for _, net := range []Network{WiFi, LTE} {
+		a, b := m.Average(replay, net), m.Average(rtmp, net)
+		if math.Abs(a-b)/b > 0.12 {
+			t.Errorf("%v: replay %.0f vs live %.0f", net, a, b)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	d := GalaxyS4()
+	if d.cpu(-1) != d.CPUIdleMW || d.cpu(2) != d.CPUMaxMW {
+		t.Error("load clamping broken")
+	}
+}

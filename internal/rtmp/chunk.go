@@ -1,0 +1,281 @@
+package rtmp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultChunkSize is the protocol default before any Set Chunk Size.
+const DefaultChunkSize = 128
+
+// extendedTimestampSentinel marks the presence of the 4-byte extended
+// timestamp field.
+const extendedTimestampSentinel = 0xFFFFFF
+
+// chunkStreamState tracks the decoder state for one chunk stream ID.
+type chunkStreamState struct {
+	timestamp    uint32
+	tsDelta      uint32
+	length       uint32
+	typeID       uint8
+	streamID     uint32
+	extendedTS   bool
+	assembled    []byte
+	bytesPending uint32
+}
+
+// ChunkReader reassembles messages from the chunk stream layer.
+type ChunkReader struct {
+	r         io.Reader
+	chunkSize uint32
+	streams   map[uint32]*chunkStreamState
+	// BytesRead counts raw bytes for acknowledgement accounting.
+	BytesRead uint64
+}
+
+// NewChunkReader wraps r with protocol-default chunk size.
+func NewChunkReader(r io.Reader) *ChunkReader {
+	return &ChunkReader{r: r, chunkSize: DefaultChunkSize, streams: map[uint32]*chunkStreamState{}}
+}
+
+// SetChunkSize updates the maximum chunk payload length (applied when the
+// peer sends a Set Chunk Size message).
+func (cr *ChunkReader) SetChunkSize(n uint32) { cr.chunkSize = n }
+
+func (cr *ChunkReader) readFull(b []byte) error {
+	n, err := io.ReadFull(cr.r, b)
+	cr.BytesRead += uint64(n)
+	return err
+}
+
+// ReadMessage returns the next complete message, transparently handling
+// chunk interleaving. Set Chunk Size messages are applied AND returned, so
+// the connection layer can account for them.
+func (cr *ChunkReader) ReadMessage() (Message, error) {
+	for {
+		msg, complete, err := cr.readChunk()
+		if err != nil {
+			return Message{}, err
+		}
+		if !complete {
+			continue
+		}
+		if msg.TypeID == TypeSetChunkSize {
+			if v, err := parseUint32Payload(msg.Payload); err == nil && v > 0 {
+				cr.chunkSize = v & 0x7FFFFFFF
+			}
+		}
+		return msg, nil
+	}
+}
+
+func (cr *ChunkReader) readChunk() (Message, bool, error) {
+	var b0 [1]byte
+	if err := cr.readFull(b0[:]); err != nil {
+		return Message{}, false, err
+	}
+	format := b0[0] >> 6
+	csid := uint32(b0[0] & 0x3F)
+	switch csid {
+	case 0:
+		var b [1]byte
+		if err := cr.readFull(b[:]); err != nil {
+			return Message{}, false, err
+		}
+		csid = uint32(b[0]) + 64
+	case 1:
+		var b [2]byte
+		if err := cr.readFull(b[:]); err != nil {
+			return Message{}, false, err
+		}
+		csid = uint32(binary.LittleEndian.Uint16(b[:])) + 64
+	}
+	st, ok := cr.streams[csid]
+	if !ok {
+		st = &chunkStreamState{}
+		cr.streams[csid] = st
+	}
+
+	switch format {
+	case 0:
+		var h [11]byte
+		if err := cr.readFull(h[:]); err != nil {
+			return Message{}, false, err
+		}
+		ts := uint32(h[0])<<16 | uint32(h[1])<<8 | uint32(h[2])
+		st.length = uint32(h[3])<<16 | uint32(h[4])<<8 | uint32(h[5])
+		st.typeID = h[6]
+		st.streamID = binary.LittleEndian.Uint32(h[7:11])
+		st.extendedTS = ts == extendedTimestampSentinel
+		if st.extendedTS {
+			var e [4]byte
+			if err := cr.readFull(e[:]); err != nil {
+				return Message{}, false, err
+			}
+			ts = binary.BigEndian.Uint32(e[:])
+		}
+		st.timestamp = ts
+		st.tsDelta = 0
+	case 1:
+		var h [7]byte
+		if err := cr.readFull(h[:]); err != nil {
+			return Message{}, false, err
+		}
+		delta := uint32(h[0])<<16 | uint32(h[1])<<8 | uint32(h[2])
+		st.length = uint32(h[3])<<16 | uint32(h[4])<<8 | uint32(h[5])
+		st.typeID = h[6]
+		st.extendedTS = delta == extendedTimestampSentinel
+		if st.extendedTS {
+			var e [4]byte
+			if err := cr.readFull(e[:]); err != nil {
+				return Message{}, false, err
+			}
+			delta = binary.BigEndian.Uint32(e[:])
+		}
+		st.tsDelta = delta
+		st.timestamp += delta
+	case 2:
+		var h [3]byte
+		if err := cr.readFull(h[:]); err != nil {
+			return Message{}, false, err
+		}
+		delta := uint32(h[0])<<16 | uint32(h[1])<<8 | uint32(h[2])
+		st.extendedTS = delta == extendedTimestampSentinel
+		if st.extendedTS {
+			var e [4]byte
+			if err := cr.readFull(e[:]); err != nil {
+				return Message{}, false, err
+			}
+			delta = binary.BigEndian.Uint32(e[:])
+		}
+		st.tsDelta = delta
+		st.timestamp += delta
+	case 3:
+		// Continuation chunks repeat the extended timestamp field when the
+		// message header used one; fresh type-3 messages reuse the stored
+		// delta.
+		if st.extendedTS {
+			var e [4]byte
+			if err := cr.readFull(e[:]); err != nil {
+				return Message{}, false, err
+			}
+			if st.bytesPending == 0 {
+				st.tsDelta = binary.BigEndian.Uint32(e[:])
+			}
+		}
+		if st.bytesPending == 0 {
+			st.timestamp += st.tsDelta
+		}
+	}
+
+	if st.bytesPending == 0 {
+		st.assembled = make([]byte, 0, st.length)
+		st.bytesPending = st.length
+	}
+	n := st.bytesPending
+	if n > cr.chunkSize {
+		n = cr.chunkSize
+	}
+	buf := make([]byte, n)
+	if err := cr.readFull(buf); err != nil {
+		return Message{}, false, err
+	}
+	st.assembled = append(st.assembled, buf...)
+	st.bytesPending -= n
+	if st.bytesPending > 0 {
+		return Message{}, false, nil
+	}
+	msg := Message{
+		TypeID:    st.typeID,
+		StreamID:  st.streamID,
+		Timestamp: st.timestamp,
+		Payload:   st.assembled,
+	}
+	st.assembled = nil
+	return msg, true, nil
+}
+
+// ChunkWriter splits messages into chunks.
+type ChunkWriter struct {
+	w         io.Writer
+	chunkSize uint32
+	// BytesWritten counts raw bytes for window accounting.
+	BytesWritten uint64
+	last         map[uint32]*chunkStreamState
+}
+
+// NewChunkWriter wraps w with protocol-default chunk size.
+func NewChunkWriter(w io.Writer) *ChunkWriter {
+	return &ChunkWriter{w: w, chunkSize: DefaultChunkSize, last: map[uint32]*chunkStreamState{}}
+}
+
+// SetChunkSize updates the outgoing chunk payload size. The caller must
+// separately send the Set Chunk Size control message first.
+func (cw *ChunkWriter) SetChunkSize(n uint32) { cw.chunkSize = n }
+
+func (cw *ChunkWriter) write(b []byte) error {
+	n, err := cw.w.Write(b)
+	cw.BytesWritten += uint64(n)
+	return err
+}
+
+// WriteMessage emits msg on the given chunk stream id, using a type-0
+// header followed by type-3 continuation chunks.
+func (cw *ChunkWriter) WriteMessage(csid uint32, msg Message) error {
+	if csid < 2 || csid > 65599 {
+		return fmt.Errorf("rtmp: invalid chunk stream id %d", csid)
+	}
+	hdr := make([]byte, 0, 18)
+	hdr = appendBasicHeader(hdr, 0, csid)
+	ts := msg.Timestamp
+	extended := ts >= extendedTimestampSentinel
+	h24 := ts
+	if extended {
+		h24 = extendedTimestampSentinel
+	}
+	hdr = append(hdr, byte(h24>>16), byte(h24>>8), byte(h24))
+	l := len(msg.Payload)
+	hdr = append(hdr, byte(l>>16), byte(l>>8), byte(l))
+	hdr = append(hdr, msg.TypeID)
+	hdr = binary.LittleEndian.AppendUint32(hdr, msg.StreamID)
+	if extended {
+		hdr = binary.BigEndian.AppendUint32(hdr, ts)
+	}
+	if err := cw.write(hdr); err != nil {
+		return err
+	}
+	payload := msg.Payload
+	for {
+		n := uint32(len(payload))
+		if n > cw.chunkSize {
+			n = cw.chunkSize
+		}
+		if err := cw.write(payload[:n]); err != nil {
+			return err
+		}
+		payload = payload[n:]
+		if len(payload) == 0 {
+			return nil
+		}
+		cont := appendBasicHeader(nil, 3, csid)
+		if extended {
+			cont = binary.BigEndian.AppendUint32(cont, ts)
+		}
+		if err := cw.write(cont); err != nil {
+			return err
+		}
+	}
+}
+
+func appendBasicHeader(b []byte, format byte, csid uint32) []byte {
+	switch {
+	case csid < 64:
+		return append(b, format<<6|byte(csid))
+	case csid < 320:
+		return append(b, format<<6, byte(csid-64))
+	default:
+		b = append(b, format<<6|1)
+		return binary.LittleEndian.AppendUint16(b, uint16(csid-64))
+	}
+}

@@ -1,0 +1,84 @@
+// Package rtmp implements the Real Time Messaging Protocol as used by
+// Periscope for low-latency live stream delivery (§3): the C0/C1/C2 -
+// S0/S1/S2 handshake, the chunk stream layer with all four header formats
+// and extended timestamps, protocol control messages (Set Chunk Size,
+// Acknowledgement, Window Acknowledgement Size, Set Peer Bandwidth), user
+// control events, and the AMF0 command flow (connect, createStream, play,
+// publish, onStatus). Both the client (viewer/broadcaster app) and server
+// (the "EC2 vidman" ingest/relay machines) sides are provided.
+//
+// The paper observes that public Periscope streams use plain-text RTMP on
+// port 80; this implementation likewise runs over any net.Conn.
+package rtmp
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProtocolVersion is the only RTMP version in deployment.
+const ProtocolVersion = 3
+
+// handshakeRandomLen is the length of the random block in C1/S1.
+const handshakeRandomLen = 1528
+
+// HandshakeClient performs the client side of the RTMP handshake.
+func HandshakeClient(rw io.ReadWriter) error {
+	// C0 + C1.
+	c1 := make([]byte, 1+4+4+handshakeRandomLen)
+	c1[0] = ProtocolVersion
+	binary.BigEndian.PutUint32(c1[1:5], uint32(time.Now().UnixMilli()))
+	if _, err := rand.Read(c1[9:]); err != nil {
+		return err
+	}
+	if _, err := rw.Write(c1); err != nil {
+		return fmt.Errorf("rtmp: writing C0C1: %w", err)
+	}
+	// S0 + S1 + S2.
+	s0s1s2 := make([]byte, 1+2*(4+4+handshakeRandomLen))
+	if _, err := io.ReadFull(rw, s0s1s2); err != nil {
+		return fmt.Errorf("rtmp: reading S0S1S2: %w", err)
+	}
+	if s0s1s2[0] != ProtocolVersion {
+		return fmt.Errorf("rtmp: server version %d", s0s1s2[0])
+	}
+	// C2 echoes S1.
+	if _, err := rw.Write(s0s1s2[1 : 1+4+4+handshakeRandomLen]); err != nil {
+		return fmt.Errorf("rtmp: writing C2: %w", err)
+	}
+	return nil
+}
+
+// HandshakeServer performs the server side of the RTMP handshake.
+func HandshakeServer(rw io.ReadWriter) error {
+	// C0 + C1.
+	c0c1 := make([]byte, 1+4+4+handshakeRandomLen)
+	if _, err := io.ReadFull(rw, c0c1); err != nil {
+		return fmt.Errorf("rtmp: reading C0C1: %w", err)
+	}
+	if c0c1[0] != ProtocolVersion {
+		return fmt.Errorf("rtmp: client version %d", c0c1[0])
+	}
+	// S0 + S1 + S2 (S2 echoes C1).
+	s := make([]byte, 0, 1+2*(4+4+handshakeRandomLen))
+	s = append(s, ProtocolVersion)
+	s1 := make([]byte, 4+4+handshakeRandomLen)
+	binary.BigEndian.PutUint32(s1[0:4], uint32(time.Now().UnixMilli()))
+	if _, err := rand.Read(s1[8:]); err != nil {
+		return err
+	}
+	s = append(s, s1...)
+	s = append(s, c0c1[1:]...)
+	if _, err := rw.Write(s); err != nil {
+		return fmt.Errorf("rtmp: writing S0S1S2: %w", err)
+	}
+	// C2.
+	c2 := make([]byte, 4+4+handshakeRandomLen)
+	if _, err := io.ReadFull(rw, c2); err != nil {
+		return fmt.Errorf("rtmp: reading C2: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package rtmp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Message type IDs.
+const (
+	TypeSetChunkSize     = 1
+	TypeAbort            = 2
+	TypeAck              = 3
+	TypeUserControl      = 4
+	TypeWindowAckSize    = 5
+	TypeSetPeerBandwidth = 6
+	TypeAudio            = 8
+	TypeVideo            = 9
+	TypeDataAMF0         = 18
+	TypeCommandAMF0      = 20
+)
+
+// Chunk stream IDs by convention.
+const (
+	csidProtocol = 2
+	csidCommand  = 3
+	csidAudio    = 6
+	csidVideo    = 7
+)
+
+// Message is one complete RTMP message.
+type Message struct {
+	TypeID    uint8
+	StreamID  uint32
+	Timestamp uint32 // milliseconds
+	Payload   []byte
+}
+
+// User control event types.
+const (
+	EventStreamBegin      = 0
+	EventStreamEOF        = 1
+	EventStreamDry        = 2
+	EventSetBufferLength  = 3
+	EventStreamIsRecorded = 4
+	EventPingRequest      = 6
+	EventPingResponse     = 7
+)
+
+// UserControlEvent is a parsed type-4 message.
+type UserControlEvent struct {
+	Event uint16
+	Data  []byte
+}
+
+// MarshalUserControl builds a user control message payload.
+func MarshalUserControl(event uint16, args ...uint32) []byte {
+	out := make([]byte, 2, 2+4*len(args))
+	binary.BigEndian.PutUint16(out, event)
+	for _, a := range args {
+		out = binary.BigEndian.AppendUint32(out, a)
+	}
+	return out
+}
+
+// ParseUserControl splits a user control payload.
+func ParseUserControl(payload []byte) (UserControlEvent, error) {
+	if len(payload) < 2 {
+		return UserControlEvent{}, fmt.Errorf("rtmp: user control payload too short")
+	}
+	return UserControlEvent{Event: binary.BigEndian.Uint16(payload[:2]), Data: payload[2:]}, nil
+}
+
+// uint32Payload builds the 4-byte payload used by several control messages.
+func uint32Payload(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+func parseUint32Payload(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("rtmp: control payload too short")
+	}
+	return binary.BigEndian.Uint32(p[:4]), nil
+}

@@ -1,0 +1,80 @@
+package rtmp
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"testing"
+	"time"
+)
+
+func TestRTMPSEndToEnd(t *testing.T) {
+	cert, err := GenerateSelfSigned("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newEchoHandler()
+	srv, err := ListenAndServeTLS("127.0.0.1:0", h, cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	tlsCfg := &tls.Config{RootCAs: pool, ServerName: "127.0.0.1"}
+
+	pub, err := DialTLS(srv.Addr().String(), "private", tlsCfg)
+	if err != nil {
+		t.Fatalf("publisher: %v", err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("secret1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.WriteVideo(0, []byte{0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	view, err := DialTLS(srv.Addr().String(), "private", tlsCfg)
+	if err != nil {
+		t.Fatalf("viewer: %v", err)
+	}
+	defer view.Close()
+	if err := view.Play("secret1"); err != nil {
+		t.Fatal(err)
+	}
+	view.nc.SetReadDeadline(time.Now().Add(3 * time.Second))
+	for {
+		msg, err := view.ReadMessage()
+		if err != nil {
+			t.Fatalf("viewer read: %v", err)
+		}
+		if msg.TypeID == TypeVideo {
+			if msg.Payload[0] != 0xDE {
+				t.Error("payload corrupted over TLS")
+			}
+			return
+		}
+	}
+}
+
+func TestDialTLSRejectsUnknownCert(t *testing.T) {
+	cert, err := GenerateSelfSigned("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenAndServeTLS("127.0.0.1:0", newEchoHandler(), cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Default verification must refuse the self-signed cert.
+	if _, err := DialTLS(srv.Addr().String(), "private", nil); err == nil {
+		t.Error("expected certificate verification failure")
+	}
+}

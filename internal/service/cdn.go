@@ -1,0 +1,92 @@
+package service
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"periscope/internal/hls"
+)
+
+// cdnPOP is one CDN edge (the study saw exactly two HLS delivery IPs,
+// "located somewhere in Europe and in San Francisco").
+type cdnPOP struct {
+	svc   *Service
+	index int
+	ln    net.Listener
+	srv   *http.Server
+
+	mu      sync.RWMutex
+	origins map[string]*hls.Origin
+
+	// Requests and Bytes count served traffic.
+	Requests atomic.Int64
+	Bytes    atomic.Int64
+}
+
+func newCDNPOP(svc *Service, index int) (*cdnPOP, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	pop := &cdnPOP{svc: svc, index: index, ln: ln, origins: map[string]*hls.Origin{}}
+	pop.srv = &http.Server{Handler: pop}
+	go pop.srv.Serve(ln)
+	return pop, nil
+}
+
+func (p *cdnPOP) baseURL() string { return "http://" + p.ln.Addr().String() }
+
+// register exposes a broadcast's segmenter at /hls/<id>/.
+func (p *cdnPOP) register(id string, seg *hls.Segmenter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.origins[id] = &hls.Origin{Seg: seg}
+}
+
+// has reports whether an origin is registered for id.
+func (p *cdnPOP) has(id string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.origins[id]
+	return ok
+}
+
+// ServeHTTP routes /hls/<broadcastID>/<file> to the broadcast's origin.
+func (p *cdnPOP) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.Requests.Add(1)
+	path := strings.TrimPrefix(r.URL.Path, "/hls/")
+	slash := strings.IndexByte(path, '/')
+	if slash < 0 {
+		http.NotFound(w, r)
+		return
+	}
+	id := path[:slash]
+	p.mu.RLock()
+	origin := p.origins[id]
+	p.mu.RUnlock()
+	if origin == nil {
+		http.NotFound(w, r)
+		return
+	}
+	cw := &countingWriter{ResponseWriter: w}
+	origin.ServeHTTP(cw, r)
+	p.Bytes.Add(cw.n)
+}
+
+func (p *cdnPOP) close() {
+	p.srv.Close()
+}
+
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(b)
+	cw.n += int64(n)
+	return n, err
+}

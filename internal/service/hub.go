@@ -1,0 +1,365 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"periscope/internal/aac"
+	"periscope/internal/avc"
+	"periscope/internal/broadcastmodel"
+	"periscope/internal/flv"
+	"periscope/internal/hls"
+	"periscope/internal/media"
+	"periscope/internal/rtmp"
+)
+
+// ingestServer is one regional RTMP server of the "vidman" fleet.
+type ingestServer struct {
+	svc    *Service
+	region string
+	srv    *rtmp.Server
+}
+
+func newIngestServer(svc *Service, region string) (*ingestServer, error) {
+	ing := &ingestServer{svc: svc, region: region}
+	srv, err := rtmp.ListenAndServe("127.0.0.1:0", ing)
+	if err != nil {
+		return nil, err
+	}
+	srv.Name = region
+	ing.srv = srv
+	return ing, nil
+}
+
+// OnConnect accepts every app.
+func (ing *ingestServer) OnConnect(c *rtmp.ServerConn, app string) error { return nil }
+
+// OnPlay attaches a viewer to the broadcast's hub.
+func (ing *ingestServer) OnPlay(c *rtmp.ServerConn, name string) error {
+	h := ing.svc.hubFor(name)
+	if h == nil {
+		return fmt.Errorf("service: no live broadcast %q", name)
+	}
+	h.addViewer(c)
+	return nil
+}
+
+// OnPublish registers the broadcaster connection.
+func (ing *ingestServer) OnPublish(c *rtmp.ServerConn, name string) error { return nil }
+
+// OnMedia routes publisher media into the hub pipeline.
+func (ing *ingestServer) OnMedia(c *rtmp.ServerConn, msg rtmp.Message) {
+	if h := ing.svc.hubFor(c.StreamName); h != nil {
+		h.onMedia(msg)
+	}
+}
+
+// OnClose detaches viewers.
+func (ing *ingestServer) OnClose(c *rtmp.ServerConn) {
+	if c.Playing {
+		if h := ing.svc.hubFor(c.StreamName); h != nil {
+			h.removeViewer(c)
+		}
+	}
+}
+
+// hubFor looks up a live pipeline.
+func (s *Service) hubFor(id string) *hub {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hubs[id]
+}
+
+// ensureHub starts the broadcast pipeline on first access.
+func (s *Service) ensureHub(b *broadcastmodel.Broadcast) (*hub, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("service: closed")
+	}
+	if h, ok := s.hubs[b.ID]; ok {
+		return h, nil
+	}
+	h := newHub(s, b)
+	s.hubs[b.ID] = h
+	if err := h.startBroadcaster(); err != nil {
+		delete(s.hubs, b.ID)
+		return nil, err
+	}
+	return h, nil
+}
+
+// viewerState tracks one attached RTMP viewer.
+type viewerState struct {
+	conn *rtmp.ServerConn
+	// waiting is true until the next keyframe; streams always start
+	// decodable, which costs up to a GOP of join delay, as real relays do.
+	waiting bool
+}
+
+// hub is the per-broadcast distribution pipeline.
+type hub struct {
+	svc *Service
+	b   *broadcastmodel.Broadcast
+
+	mu       sync.Mutex
+	viewers  []*viewerState
+	videoSeq []byte // cached AVC sequence header tag data
+	audioSeq []byte // cached AAC sequence header tag data
+	seg      *hls.Segmenter
+	stopCh   chan struct{}
+	stopped  bool
+	pub      *rtmp.Client
+	enc      *media.Encoder
+}
+
+func newHub(s *Service, b *broadcastmodel.Broadcast) *hub {
+	return &hub{svc: s, b: b, stopCh: make(chan struct{})}
+}
+
+// startBroadcaster dials the regional ingest server and begins pushing the
+// synthetic stream in real time.
+func (h *hub) startBroadcaster() error {
+	ing, ok := h.svc.ingest[h.b.Region]
+	if !ok {
+		return fmt.Errorf("service: region %q has no ingest", h.b.Region)
+	}
+	nc, err := net.Dial("tcp", ing.srv.Addr().String())
+	if err != nil {
+		return err
+	}
+	cli, err := rtmp.NewClientConn(nc, "live", "rtmp://vidman-"+h.b.Region+".periscope.tv:80/live")
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	if err := cli.Publish(h.b.ID); err != nil {
+		cli.Close()
+		return err
+	}
+	h.pub = cli
+
+	rng := rand.New(rand.NewSource(h.b.Seed))
+	cfg := media.RandomEncoderConfig(rng)
+	cfg.EmitPayload = true
+	cfg.SEIPeriod = 500 * time.Millisecond
+	enc := media.NewEncoder(cfg, time.Now())
+	h.enc = enc
+
+	go h.produce(cli, enc, rng)
+	return nil
+}
+
+// produce runs the broadcaster: FLV sequence headers, then paced AV tags.
+func (h *hub) produce(cli *rtmp.Client, enc *media.Encoder, rng *rand.Rand) {
+	defer cli.Close()
+	// Sequence headers first.
+	acfg := aac.DefaultConfig()
+	if rng.Intn(2) == 1 {
+		acfg.Bitrate = 64000 // paper: ~32 or 64 kbps VBR
+	}
+	videoSeq := flv.VideoTagData{
+		FrameType:  flv.VideoKeyFrame,
+		PacketType: flv.AVCSeqHeader,
+		Data:       flv.DecoderConfig(enc.SPS(), enc.PPS()),
+	}.Marshal()
+	audioSeq := flv.AudioTagData{PacketType: flv.AACSeqHeader, Data: acfg.AudioSpecificConfig()}.Marshal()
+	h.mu.Lock()
+	h.videoSeq = videoSeq
+	h.audioSeq = audioSeq
+	h.mu.Unlock()
+	if err := cli.WriteVideo(0, videoSeq); err != nil {
+		return
+	}
+	if err := cli.WriteAudio(0, audioSeq); err != nil {
+		return
+	}
+
+	sizer := aac.NewFrameSizer(acfg, rng.Int63())
+	start := time.Now()
+	var audioPTS time.Duration
+	for {
+		select {
+		case <-h.stopCh:
+			return
+		default:
+		}
+		f := enc.NextFrame()
+		// Pace production to real time.
+		if sleep := time.Until(start.Add(f.PTS)); sleep > 0 {
+			select {
+			case <-h.stopCh:
+				return
+			case <-time.After(sleep):
+			}
+		}
+		if !f.Dropped {
+			frameType := flv.VideoInterFrame
+			if f.Keyframe {
+				frameType = flv.VideoKeyFrame
+			}
+			tag := flv.VideoTagData{
+				FrameType:       frameType,
+				PacketType:      flv.AVCNALU,
+				CompositionTime: int32((f.PTS - f.DTS).Milliseconds()),
+				Data:            avc.MarshalAVCC(f.NALs),
+			}.Marshal()
+			if err := cli.WriteVideo(uint32(f.DTS.Milliseconds()), tag); err != nil {
+				return
+			}
+		}
+		// Interleave audio frames up to the video position.
+		for audioPTS <= f.PTS {
+			atag := flv.AudioTagData{PacketType: flv.AACRaw, Data: sizer.NextFrame()}.Marshal()
+			if err := cli.WriteAudio(uint32(audioPTS.Milliseconds()), atag); err != nil {
+				return
+			}
+			audioPTS += aac.FrameDuration
+		}
+	}
+}
+
+// addViewer attaches an RTMP viewer; it receives the sequence headers
+// immediately and media from the next keyframe.
+func (h *hub) addViewer(c *rtmp.ServerConn) {
+	h.mu.Lock()
+	videoSeq, audioSeq := h.videoSeq, h.audioSeq
+	h.viewers = append(h.viewers, &viewerState{conn: c, waiting: true})
+	h.mu.Unlock()
+	if videoSeq != nil {
+		c.SendVideo(0, videoSeq)
+	}
+	if audioSeq != nil {
+		c.SendAudio(0, audioSeq)
+	}
+}
+
+func (h *hub) removeViewer(c *rtmp.ServerConn) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, v := range h.viewers {
+		if v.conn == c {
+			h.viewers = append(h.viewers[:i], h.viewers[i+1:]...)
+			return
+		}
+	}
+}
+
+// ViewerCount reports attached RTMP viewers (tests).
+func (h *hub) ViewerCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.viewers)
+}
+
+// onMedia fans publisher media out to viewers and the HLS pipeline.
+func (h *hub) onMedia(msg rtmp.Message) {
+	h.mu.Lock()
+	// Cache sequence headers for late joiners.
+	isVideoKey := false
+	var vt flv.VideoTagData
+	if msg.TypeID == rtmp.TypeVideo {
+		if parsed, err := flv.ParseVideoTagData(msg.Payload); err == nil {
+			vt = parsed
+			if vt.PacketType == flv.AVCSeqHeader {
+				h.videoSeq = msg.Payload
+			}
+			isVideoKey = vt.FrameType == flv.VideoKeyFrame && vt.PacketType == flv.AVCNALU
+		}
+	} else if msg.TypeID == rtmp.TypeAudio {
+		if parsed, err := flv.ParseAudioTagData(msg.Payload); err == nil && parsed.PacketType == flv.AACSeqHeader {
+			h.audioSeq = msg.Payload
+		}
+	}
+	viewers := append([]*viewerState(nil), h.viewers...)
+	seg := h.seg
+	h.mu.Unlock()
+
+	for _, v := range viewers {
+		if v.waiting {
+			if !isVideoKey {
+				continue
+			}
+			v.waiting = false
+		}
+		switch msg.TypeID {
+		case rtmp.TypeVideo:
+			v.conn.SendVideo(msg.Timestamp, msg.Payload)
+		case rtmp.TypeAudio:
+			v.conn.SendAudio(msg.Timestamp, msg.Payload)
+		}
+	}
+
+	if seg != nil {
+		h.feedSegmenter(seg, msg, vt)
+	}
+}
+
+// feedSegmenter repackages FLV tags into the MPEG-TS segmenter — the
+// "transcode, repackage and deliver to Fastly" step the paper hypothesises
+// for popular broadcasts.
+func (h *hub) feedSegmenter(seg *hls.Segmenter, msg rtmp.Message, vt flv.VideoTagData) {
+	now := time.Now()
+	switch msg.TypeID {
+	case rtmp.TypeVideo:
+		if vt.PacketType != flv.AVCNALU {
+			return
+		}
+		units, err := avc.ParseAVCC(vt.Data)
+		if err != nil {
+			return
+		}
+		dts := time.Duration(msg.Timestamp) * time.Millisecond
+		pts := dts + time.Duration(vt.CompositionTime)*time.Millisecond
+		seg.WriteVideo(now, pts, dts, vt.FrameType == flv.VideoKeyFrame, avc.MarshalAnnexB(units))
+	case rtmp.TypeAudio:
+		at, err := flv.ParseAudioTagData(msg.Payload)
+		if err != nil || at.PacketType != flv.AACRaw {
+			return
+		}
+		pts := time.Duration(msg.Timestamp) * time.Millisecond
+		seg.WriteAudio(now, pts, at.Data)
+	}
+}
+
+// enableHLS attaches a segmenter and registers the broadcast with every
+// CDN POP (idempotent).
+func (h *hub) enableHLS() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.seg != nil {
+		return nil
+	}
+	h.seg = hls.NewSegmenter(h.svc.cfg.SegmentTarget, hls.DefaultWindowSize)
+	for _, pop := range h.svc.cdn {
+		pop.register(h.b.ID, h.seg)
+	}
+	return nil
+}
+
+// Segmenter exposes the HLS pipeline (tests and analysis).
+func (h *hub) Segmenter() *hls.Segmenter {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seg
+}
+
+// stop tears the pipeline down.
+func (h *hub) stop() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.stopped = true
+	close(h.stopCh)
+	seg := h.seg
+	h.mu.Unlock()
+	if seg != nil {
+		seg.Finish(time.Now())
+	}
+	h.svc.Chat.CloseRoom(h.b.ID)
+}

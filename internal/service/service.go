@@ -1,0 +1,241 @@
+// Package service assembles the Periscope-like backend under measurement:
+// the JSON API (internal/api), one RTMP ingest/relay server per world
+// region (the "EC2 vidman" machines of §3 — region-nearest to the
+// broadcaster), the popularity-triggered HLS pipeline (repackage the RTMP
+// stream into MPEG-TS segments and serve them from a small number of
+// CDN POPs, as the paper observed: all HLS streams came from two IP
+// addresses while 87 RTMP servers were seen), and the WebSocket chat with
+// its avatar store.
+//
+// Broadcasters are synthetic: each watched broadcast gets a broadcaster
+// engine that pushes real RTMP (FLV-tagged AVC+AAC from internal/media)
+// over loopback into its regional ingest server, where the stream fans out
+// to RTMP viewers and, for popular broadcasts, into the segmenter.
+package service
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"periscope/internal/api"
+	"periscope/internal/broadcastmodel"
+	"periscope/internal/chat"
+	"periscope/internal/geo"
+)
+
+// Config tunes the assembled service.
+type Config struct {
+	PopConfig broadcastmodel.Config
+	// HLSViewerThreshold is the audience size beyond which a broadcast is
+	// served via HLS ("the boundary … is somewhere around 100 viewers").
+	HLSViewerThreshold int
+	// SegmentTarget is the HLS segment duration target (3.6 s observed).
+	SegmentTarget time.Duration
+	// CDNPOPs is the number of CDN edge servers (the study saw 2).
+	CDNPOPs int
+	// APIRateLimit enables 429 responses (requests/second per session).
+	APIRateLimit float64
+	APIBurst     float64
+	Seed         int64
+}
+
+// DefaultConfig mirrors the observed service parameters at reduced scale.
+func DefaultConfig() Config {
+	pc := broadcastmodel.DefaultConfig()
+	pc.TargetConcurrent = 300 // wire tier runs small; model tier scales up
+	return Config{
+		PopConfig:          pc,
+		HLSViewerThreshold: 100,
+		SegmentTarget:      3600 * time.Millisecond,
+		CDNPOPs:            2,
+		APIRateLimit:       2,
+		APIBurst:           6,
+		Seed:               1,
+	}
+}
+
+// Service is the running backend.
+type Service struct {
+	cfg Config
+
+	Pop  *broadcastmodel.Population
+	API  *api.Server
+	Chat *chat.Server
+
+	apiHTTP  *http.Server
+	apiLn    net.Listener
+	chatHTTP *http.Server
+	chatLn   net.Listener
+
+	regions []geo.Region
+	ingest  map[string]*ingestServer // region name -> RTMP ingest
+	cdn     []*cdnPOP
+
+	mu   sync.Mutex
+	hubs map[string]*hub // broadcast ID -> live pipeline
+	done bool
+}
+
+// Start builds and starts every component on loopback ports.
+func Start(cfg Config) (*Service, error) {
+	if cfg.HLSViewerThreshold <= 0 {
+		cfg.HLSViewerThreshold = 100
+	}
+	if cfg.CDNPOPs <= 0 {
+		cfg.CDNPOPs = 2
+	}
+	s := &Service{
+		cfg:     cfg,
+		Pop:     broadcastmodel.New(cfg.PopConfig, time.Now()),
+		Chat:    chat.NewServer(),
+		regions: geo.Regions(),
+		ingest:  map[string]*ingestServer{},
+		hubs:    map[string]*hub{},
+	}
+
+	// Regional RTMP ingest servers.
+	for _, r := range s.regions {
+		ing, err := newIngestServer(s, r.Name)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("service: starting ingest %s: %w", r.Name, err)
+		}
+		s.ingest[r.Name] = ing
+	}
+
+	// CDN POPs ("Fastly" edges).
+	for i := 0; i < cfg.CDNPOPs; i++ {
+		pop, err := newCDNPOP(s, i)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("service: starting CDN POP %d: %w", i, err)
+		}
+		s.cdn = append(s.cdn, pop)
+	}
+
+	// Chat server.
+	chatLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.chatLn = chatLn
+	s.chatHTTP = &http.Server{Handler: s.Chat}
+	go s.chatHTTP.Serve(chatLn)
+
+	// API server.
+	s.API = api.NewServer(s.Pop, s, api.ServerConfig{
+		RateLimit:     cfg.APIRateLimit,
+		Burst:         cfg.APIBurst,
+		MapVisibleCap: 50,
+		Seed:          cfg.Seed,
+	})
+	apiLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.apiLn = apiLn
+	s.apiHTTP = &http.Server{Handler: s.API}
+	go s.apiHTTP.Serve(apiLn)
+
+	return s, nil
+}
+
+// APIBaseURL returns the http:// base of the API server.
+func (s *Service) APIBaseURL() string { return "http://" + s.apiLn.Addr().String() }
+
+// ChatBaseURL returns the http:// base of the chat/avatar server.
+func (s *Service) ChatBaseURL() string { return "http://" + s.chatLn.Addr().String() }
+
+// RTMPServerNames lists the DNS-style names of the ingest fleet, e.g.
+// vidman-eu-west.periscope.tv, with their EC2-style reverse names.
+func (s *Service) RTMPServerNames() map[string]string {
+	out := map[string]string{}
+	for name, ing := range s.ingest {
+		addr := ing.srv.Addr().String()
+		out["vidman-"+name+".periscope.tv"] = "ec2-" + addr + ".compute.amazonaws.com"
+	}
+	return out
+}
+
+// Close shuts everything down.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.done = true
+	hubs := make([]*hub, 0, len(s.hubs))
+	for _, h := range s.hubs {
+		hubs = append(hubs, h)
+	}
+	s.mu.Unlock()
+	for _, h := range hubs {
+		h.stop()
+	}
+	for _, ing := range s.ingest {
+		ing.srv.Close()
+	}
+	for _, pop := range s.cdn {
+		pop.close()
+	}
+	if s.apiHTTP != nil {
+		s.apiHTTP.Close()
+	}
+	if s.chatHTTP != nil {
+		s.chatHTTP.Close()
+	}
+}
+
+// AccessVideo implements api.VideoAccessProvider: it starts the broadcast
+// pipeline on demand and applies the protocol-selection policy. Ended
+// broadcasts that were made available for replay are served as HLS VOD
+// ("Broadcasts can also be made available for replay", §3; replay playback
+// is the "video on, not live" scenario of Fig. 7).
+func (s *Service) AccessVideo(id string) (api.AccessVideoResponse, error) {
+	b, ok := s.Pop.Get(id)
+	if !ok {
+		if eb, live, found := s.Pop.GetAny(id); found && !live && eb.AvailableForReplay {
+			return s.replayAccess(eb)
+		}
+		return api.AccessVideoResponse{}, fmt.Errorf("broadcast %s not live", id)
+	}
+	h, err := s.ensureHub(b)
+	if err != nil {
+		return api.AccessVideoResponse{}, err
+	}
+	viewers := b.ViewersAt(s.Pop.Now())
+	resp := api.AccessVideoResponse{
+		NumWatching: viewers,
+		ChatURL:     "ws://" + s.chatLn.Addr().String() + "/chat/" + id,
+		StreamName:  id,
+	}
+	if viewers >= s.cfg.HLSViewerThreshold {
+		// Popular: serve via HLS from a CDN POP. The POP choice models
+		// viewer proximity; a single measurement location therefore always
+		// sees the same couple of IPs.
+		if err := h.enableHLS(); err != nil {
+			return resp, err
+		}
+		pop := s.cdn[int(fnv32(id))%len(s.cdn)]
+		resp.Protocol = "HLS"
+		resp.HLSBaseURL = pop.baseURL() + "/hls/" + id
+	} else {
+		resp.Protocol = "RTMP"
+		ing := s.ingest[b.Region]
+		resp.RTMPAddr = ing.srv.Addr().String()
+		resp.RTMPServer = "vidman-" + b.Region + ".periscope.tv"
+	}
+	// Chat room mirrors the audience size.
+	s.Chat.Room(id, chat.RoomConfigForViewers(viewers, b.Seed))
+	return resp, nil
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for _, c := range []byte(s) {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"periscope/internal/netem"
+	"periscope/internal/service"
+)
+
+// TestWireSessionShaped applies a tc-style bandwidth limit to a real wire
+// session — the §2 methodology end to end: teleport over a shaped HTTP
+// client, RTMP over a shaped TCP connection, playbackMeta upload at the
+// end.
+func TestWireSessionShaped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire session needs real time")
+	}
+	scfg := service.DefaultConfig()
+	scfg.PopConfig.TargetConcurrent = 60
+	scfg.HLSViewerThreshold = 1 << 30 // RTMP path
+	svc, err := service.Start(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// A generous limit (video fits easily): the session must still play.
+	rec, err := WatchOnce(WireConfig{
+		APIBaseURL: svc.APIBaseURL(),
+		Session:    "shaped",
+		WatchFor:   5 * time.Second,
+		Shaper:     netem.NewShaper(netem.Mbps(4)),
+		Device:     GalaxyS4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Metrics.Delivered == 0 {
+		t.Fatal("no media over shaped link")
+	}
+	if rec.BandwidthMbps != 4 {
+		t.Errorf("recorded limit = %v", rec.BandwidthMbps)
+	}
+	if rec.Metrics.PlayTime == 0 {
+		t.Error("no playback at 4 Mbps")
+	}
+}
+
+// TestWireSessionHeavilyShaped verifies that a link far below the video
+// bitrate degrades the session (join dominates or stalls appear), the
+// Fig. 3/4 mechanism on the real wire.
+func TestWireSessionHeavilyShaped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire session needs real time")
+	}
+	scfg := service.DefaultConfig()
+	scfg.PopConfig.TargetConcurrent = 60
+	scfg.HLSViewerThreshold = 1 << 30
+	svc, err := service.Start(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	rec, err := WatchOnce(WireConfig{
+		APIBaseURL: svc.APIBaseURL(),
+		Session:    "throttled",
+		WatchFor:   5 * time.Second,
+		Shaper:     netem.NewShaper(100_000), // 100 kbps << video bitrate
+		Device:     GalaxyS3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := rec.Metrics.JoinTime > 2*time.Second ||
+		rec.Metrics.StallCount > 0 ||
+		rec.Metrics.PlayTime < 3*time.Second
+	if !degraded {
+		t.Errorf("100 kbps session suspiciously healthy: %+v", rec.Metrics)
+	}
+}
+
+func TestFilterHelper(t *testing.T) {
+	recs := []Record{
+		{Protocol: "RTMP", BandwidthMbps: 0},
+		{Protocol: "HLS", BandwidthMbps: 0},
+		{Protocol: "RTMP", BandwidthMbps: 2},
+	}
+	if n := len(Filter(recs, "RTMP", -1)); n != 2 {
+		t.Errorf("RTMP all = %d", n)
+	}
+	if n := len(Filter(recs, "", 0)); n != 2 {
+		t.Errorf("unlimited all = %d", n)
+	}
+	if n := len(Filter(recs, "RTMP", 2)); n != 1 {
+		t.Errorf("RTMP@2 = %d", n)
+	}
+}

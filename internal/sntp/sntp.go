@@ -1,0 +1,213 @@
+// Package sntp implements the Simple Network Time Protocol (RFC 4330
+// subset) that the measurement setup depends on: the paper NTP-synchronised
+// the capture machine against the same server pool as the Periscope app so
+// that broadcaster-embedded NTP timestamps could be subtracted from packet
+// receive times (§2, §5.1). A server, a client with standard offset/delay
+// estimation, and an imperfect-sync model (the paper "sometimes observed
+// small negative time differences indicating that the synchronization was
+// imperfect") are provided.
+package sntp
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// PacketSize is the size of an SNTP packet without authentication.
+const PacketSize = 48
+
+// ntpEpochOffset converts between the NTP era (1900) and Unix epoch (1970).
+const ntpEpochOffset = 2208988800
+
+// ToNTP converts a time.Time to 64-bit NTP format.
+func ToNTP(t time.Time) uint64 {
+	secs := uint64(t.Unix()) + ntpEpochOffset
+	frac := uint64(t.Nanosecond()) << 32 / 1e9
+	return secs<<32 | frac
+}
+
+// FromNTP converts a 64-bit NTP timestamp to time.Time (UTC).
+func FromNTP(v uint64) time.Time {
+	secs := int64(v>>32) - ntpEpochOffset
+	nanos := (v & 0xFFFFFFFF) * 1e9 >> 32
+	return time.Unix(secs, int64(nanos)).UTC()
+}
+
+// Packet is a parsed SNTP packet.
+type Packet struct {
+	LeapIndicator uint8
+	Version       uint8
+	Mode          uint8
+	Stratum       uint8
+	Reference     uint64
+	Originate     uint64
+	Receive       uint64
+	Transmit      uint64
+}
+
+// Modes.
+const (
+	ModeClient = 3
+	ModeServer = 4
+)
+
+// Marshal encodes the packet.
+func (p Packet) Marshal() []byte {
+	b := make([]byte, PacketSize)
+	b[0] = p.LeapIndicator<<6 | p.Version<<3 | p.Mode
+	b[1] = p.Stratum
+	b[2] = 6    // poll
+	b[3] = 0xEC // precision (~2^-20)
+	binary.BigEndian.PutUint64(b[16:24], p.Reference)
+	binary.BigEndian.PutUint64(b[24:32], p.Originate)
+	binary.BigEndian.PutUint64(b[32:40], p.Receive)
+	binary.BigEndian.PutUint64(b[40:48], p.Transmit)
+	return b
+}
+
+// ParsePacket decodes an SNTP packet.
+func ParsePacket(b []byte) (Packet, error) {
+	if len(b) < PacketSize {
+		return Packet{}, errors.New("sntp: short packet")
+	}
+	return Packet{
+		LeapIndicator: b[0] >> 6,
+		Version:       b[0] >> 3 & 0x7,
+		Mode:          b[0] & 0x7,
+		Stratum:       b[1],
+		Reference:     binary.BigEndian.Uint64(b[16:24]),
+		Originate:     binary.BigEndian.Uint64(b[24:32]),
+		Receive:       binary.BigEndian.Uint64(b[32:40]),
+		Transmit:      binary.BigEndian.Uint64(b[40:48]),
+	}, nil
+}
+
+// Server answers SNTP queries over UDP. ClockError, if non-zero, offsets
+// the server's notion of time — used to study the effect of imperfect
+// synchronization on latency measurements.
+type Server struct {
+	ClockError time.Duration
+
+	mu   sync.Mutex
+	conn *net.UDPConn
+}
+
+// Start begins serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address.
+func (s *Server) Start(addr string) (*net.UDPAddr, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	go s.loop(conn)
+	return conn.LocalAddr().(*net.UDPAddr), nil
+}
+
+func (s *Server) loop(conn *net.UDPConn) {
+	buf := make([]byte, 256)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		req, err := ParsePacket(buf[:n])
+		if err != nil || req.Mode != ModeClient {
+			continue
+		}
+		now := time.Now().Add(s.ClockError)
+		resp := Packet{
+			Version:   4,
+			Mode:      ModeServer,
+			Stratum:   2,
+			Reference: ToNTP(now.Add(-10 * time.Second)),
+			Originate: req.Transmit,
+			Receive:   ToNTP(now),
+			Transmit:  ToNTP(now),
+		}
+		conn.WriteToUDP(resp.Marshal(), raddr)
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		return s.conn.Close()
+	}
+	return nil
+}
+
+// QueryResult is the outcome of one SNTP exchange.
+type QueryResult struct {
+	Offset time.Duration // estimated local-clock error (add to local time)
+	Delay  time.Duration // round-trip delay
+}
+
+// Query performs one SNTP exchange with the server at addr.
+func Query(addr string, timeout time.Duration) (QueryResult, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+
+	t0 := time.Now()
+	req := Packet{Version: 4, Mode: ModeClient, Transmit: ToNTP(t0)}
+	if _, err := conn.Write(req.Marshal()); err != nil {
+		return QueryResult{}, err
+	}
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	t3 := time.Now()
+	resp, err := ParsePacket(buf[:n])
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if resp.Mode != ModeServer {
+		return QueryResult{}, errors.New("sntp: unexpected mode in response")
+	}
+	t1 := FromNTP(resp.Receive)
+	t2 := FromNTP(resp.Transmit)
+	// Standard NTP offset/delay computation (RFC 4330 §5).
+	offset := (t1.Sub(t0) + t2.Sub(t3)) / 2
+	delay := t3.Sub(t0) - t2.Sub(t1)
+	return QueryResult{Offset: offset, Delay: delay}, nil
+}
+
+// SyncModel represents the residual clock error of an NTP-synchronised
+// host. The paper saw occasional small negative delivery latencies caused
+// by exactly this residual error.
+type SyncModel struct {
+	rng *rand.Rand
+	// Sigma is the standard deviation of the residual error.
+	Sigma time.Duration
+	// Bias is a constant residual offset.
+	Bias time.Duration
+}
+
+// NewSyncModel returns a model with the given residual parameters.
+func NewSyncModel(seed int64, sigma, bias time.Duration) *SyncModel {
+	return &SyncModel{rng: rand.New(rand.NewSource(seed)), Sigma: sigma, Bias: bias}
+}
+
+// SampleError draws one clock-error sample; measured_latency = true_latency
+// + SampleError() in the delivery-latency pipeline.
+func (m *SyncModel) SampleError() time.Duration {
+	return m.Bias + time.Duration(m.rng.NormFloat64()*float64(m.Sigma))
+}

@@ -1,0 +1,100 @@
+package sntp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNTPConversionRoundTrip(t *testing.T) {
+	ts := time.Date(2016, 11, 14, 10, 0, 0, 987654321, time.UTC)
+	got := FromNTP(ToNTP(ts))
+	if d := got.Sub(ts); d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("drift %v", d)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		Version:   4,
+		Mode:      ModeServer,
+		Stratum:   2,
+		Reference: 0x1111111122222222,
+		Originate: 0x3333333344444444,
+		Receive:   0x5555555566666666,
+		Transmit:  0x7777777788888888,
+	}
+	got, err := ParsePacket(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("got %+v, want %+v", got, p)
+	}
+}
+
+func TestPacketShort(t *testing.T) {
+	if _, err := ParsePacket(make([]byte, 10)); err == nil {
+		t.Error("want error for short packet")
+	}
+}
+
+func TestQueryAgainstLocalServer(t *testing.T) {
+	srv := &Server{}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := Query(addr.String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same machine: offset should be small and delay near zero.
+	if res.Offset > 100*time.Millisecond || res.Offset < -100*time.Millisecond {
+		t.Errorf("offset = %v", res.Offset)
+	}
+	if res.Delay < 0 || res.Delay > time.Second {
+		t.Errorf("delay = %v", res.Delay)
+	}
+}
+
+func TestQueryDetectsServerClockError(t *testing.T) {
+	srv := &Server{ClockError: 500 * time.Millisecond}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := Query(addr.String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimated offset should reflect the server's skewed clock.
+	if res.Offset < 400*time.Millisecond || res.Offset > 600*time.Millisecond {
+		t.Errorf("offset = %v, want ~500ms", res.Offset)
+	}
+}
+
+func TestSyncModelProducesNegatives(t *testing.T) {
+	// With a ~30ms sigma some samples must be negative — the effect that
+	// produced negative delivery latencies in Fig. 5.
+	m := NewSyncModel(1, 30*time.Millisecond, 0)
+	neg := 0
+	for i := 0; i < 1000; i++ {
+		if m.SampleError() < 0 {
+			neg++
+		}
+	}
+	if neg < 300 || neg > 700 {
+		t.Errorf("negative samples = %d/1000, want ~500", neg)
+	}
+}
+
+func TestSyncModelBias(t *testing.T) {
+	m := NewSyncModel(2, 0, 5*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if m.SampleError() != 5*time.Millisecond {
+			t.Fatal("zero-sigma model must return the bias exactly")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package vclock abstracts time so population models and experiments can
+// run in compressed virtual time (a 10-hour crawl simulates in
+// milliseconds) while wire-protocol integration tests keep using the real
+// clock.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is the system clock.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Manual is a virtual clock advanced explicitly by the test or simulation
+// driver. It is safe for concurrent use.
+type Manual struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManual returns a Manual clock set to start.
+func NewManual(start time.Time) *Manual { return &Manual{t: start} }
+
+// Now returns the current virtual time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (m *Manual) Advance(d time.Duration) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t = m.t.Add(d)
+	return m.t
+}
+
+// Set jumps the clock to t.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t = t
+}

@@ -1,0 +1,48 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestManualAdvance(t *testing.T) {
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	c := NewManual(start)
+	if !c.Now().Equal(start) {
+		t.Fatal("initial time wrong")
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Errorf("Now = %v", got)
+	}
+	c.Set(start)
+	if !c.Now().Equal(start) {
+		t.Error("Set did not reset")
+	}
+}
+
+func TestManualConcurrent(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Advance(time.Second)
+			_ = c.Now()
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); !got.Equal(time.Unix(50, 0)) {
+		t.Errorf("Now = %v, want 50s", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now().Add(-time.Second)
+	if c.Now().Before(before) {
+		t.Error("Real clock lagging")
+	}
+}

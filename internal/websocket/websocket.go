@@ -1,0 +1,294 @@
+// Package websocket implements the subset of RFC 6455 that the Periscope
+// chat uses ("The chat uses Websockets to deliver messages", §3): the
+// HTTP Upgrade handshake with Sec-WebSocket-Accept validation, frame
+// encoding/decoding with client-side masking, fragmentation reassembly,
+// and text/binary/ping/pong/close opcodes.
+package websocket
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// rfc6455GUID is the magic GUID concatenated with the key in the handshake.
+const rfc6455GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Opcodes.
+const (
+	OpContinuation = 0x0
+	OpText         = 0x1
+	OpBinary       = 0x2
+	OpClose        = 0x8
+	OpPing         = 0x9
+	OpPong         = 0xA
+)
+
+// ErrClosed is returned after a close frame has been exchanged.
+var ErrClosed = errors.New("websocket: connection closed")
+
+// Conn is an established WebSocket connection.
+type Conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	client bool // client connections mask outgoing frames
+	closed bool
+	// BytesRead/BytesWritten count wire bytes for traffic accounting.
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + rfc6455GUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Upgrade hijacks an HTTP request and completes the server handshake.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		return nil, errors.New("websocket: not an upgrade request")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return nil, errors.New("websocket: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, errors.New("websocket: response writer cannot hijack")
+	}
+	nc, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, err
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := nc.Write([]byte(resp)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return &Conn{nc: nc, br: brw.Reader}, nil
+}
+
+// Dial establishes a client connection to a ws:// URL using the given
+// dialer (nil for net.Dial).
+func Dial(rawURL string, dial func(network, addr string) (net.Conn, error)) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("websocket: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host += ":80"
+	}
+	if dial == nil {
+		dial = net.Dial
+	}
+	nc, err := dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	keyRaw := make([]byte, 16)
+	if _, err := rand.Read(keyRaw); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw)
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := nc.Write([]byte(req)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(nc)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		nc.Close()
+		return nil, fmt.Errorf("websocket: handshake status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Sec-WebSocket-Accept") != AcceptKey(key) {
+		nc.Close()
+		return nil, errors.New("websocket: bad Sec-WebSocket-Accept")
+	}
+	return &Conn{nc: nc, br: br, client: true}, nil
+}
+
+// WriteMessage sends one unfragmented message with the given opcode.
+func (c *Conn) WriteMessage(opcode int, payload []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	hdr := make([]byte, 0, 14)
+	hdr = append(hdr, 0x80|byte(opcode))
+	maskBit := byte(0)
+	if c.client {
+		maskBit = 0x80
+	}
+	switch {
+	case len(payload) < 126:
+		hdr = append(hdr, maskBit|byte(len(payload)))
+	case len(payload) <= 0xFFFF:
+		hdr = append(hdr, maskBit|126)
+		hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(payload)))
+	default:
+		hdr = append(hdr, maskBit|127)
+		hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(payload)))
+	}
+	body := payload
+	if c.client {
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		hdr = append(hdr, mask[:]...)
+		body = make([]byte, len(payload))
+		for i, b := range payload {
+			body[i] = b ^ mask[i&3]
+		}
+	}
+	if _, err := c.nc.Write(hdr); err != nil {
+		return err
+	}
+	n, err := c.nc.Write(body)
+	c.BytesWritten += int64(len(hdr) + n)
+	return err
+}
+
+// ReadMessage returns the next complete data message, transparently
+// answering pings and reassembling fragmented messages.
+func (c *Conn) ReadMessage() (opcode int, payload []byte, err error) {
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	var assembled []byte
+	msgOp := 0
+	for {
+		fin, op, data, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case OpPing:
+			if err := c.WriteMessage(OpPong, data); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case OpPong:
+			continue
+		case OpClose:
+			c.closed = true
+			// Echo the close frame best-effort, then report closed.
+			frameHdr := []byte{0x80 | OpClose, 0}
+			c.nc.Write(frameHdr)
+			return 0, nil, ErrClosed
+		case OpContinuation:
+			if msgOp == 0 {
+				return 0, nil, errors.New("websocket: continuation without start")
+			}
+			assembled = append(assembled, data...)
+		default:
+			if msgOp != 0 {
+				return 0, nil, errors.New("websocket: interleaved data frames")
+			}
+			msgOp = op
+			assembled = append(assembled, data...)
+		}
+		if fin && msgOp != 0 {
+			return msgOp, assembled, nil
+		}
+	}
+}
+
+func (c *Conn) readFrame() (fin bool, opcode int, payload []byte, err error) {
+	var h [2]byte
+	if _, err := io.ReadFull(c.br, h[:]); err != nil {
+		return false, 0, nil, err
+	}
+	c.BytesRead += 2
+	fin = h[0]&0x80 != 0
+	opcode = int(h[0] & 0x0F)
+	masked := h[1]&0x80 != 0
+	length := uint64(h[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		c.BytesRead += 2
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		c.BytesRead += 8
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > 64<<20 {
+		return false, 0, nil, fmt.Errorf("websocket: frame of %d bytes refused", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err := io.ReadFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+		c.BytesRead += 4
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	c.BytesRead += int64(length)
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i&3]
+		}
+	}
+	return fin, opcode, payload, nil
+}
+
+// Close sends a close frame and closes the transport.
+func (c *Conn) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.writeRaw(0x80|OpClose, nil)
+	}
+	return c.nc.Close()
+}
+
+func (c *Conn) writeRaw(b0 byte, payload []byte) {
+	hdr := []byte{b0, byte(len(payload))}
+	if c.client {
+		hdr[1] |= 0x80
+		hdr = append(hdr, 0, 0, 0, 0)
+	}
+	c.nc.Write(append(hdr, payload...))
+}

@@ -1,0 +1,181 @@
+package websocket
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAcceptKeyRFCExample(t *testing.T) {
+	// The worked example from RFC 6455 section 1.3.
+	got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	if got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Errorf("AcceptKey = %s", got)
+	}
+}
+
+func startEchoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			t.Logf("upgrade: %v", err)
+			return
+		}
+		defer c.Close()
+		for {
+			op, msg, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := c.WriteMessage(op, msg); err != nil {
+				return
+			}
+		}
+	}))
+}
+
+func wsURL(s *httptest.Server) string {
+	return "ws" + strings.TrimPrefix(s.URL, "http")
+}
+
+func TestEchoTextAndBinary(t *testing.T) {
+	srv := startEchoServer(t)
+	defer srv.Close()
+	c, err := Dial(wsURL(srv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.WriteMessage(OpText, []byte("hello chat")); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := c.ReadMessage()
+	if err != nil || op != OpText || string(msg) != "hello chat" {
+		t.Fatalf("op=%d msg=%q err=%v", op, msg, err)
+	}
+
+	big := bytes.Repeat([]byte{0xAB}, 70_000) // forces 64-bit length
+	if err := c.WriteMessage(OpBinary, big); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err = c.ReadMessage()
+	if err != nil || op != OpBinary || !bytes.Equal(msg, big) {
+		t.Fatalf("binary echo failed: op=%d len=%d err=%v", op, len(msg), err)
+	}
+}
+
+func TestMediumFrame(t *testing.T) {
+	srv := startEchoServer(t)
+	defer srv.Close()
+	c, err := Dial(wsURL(srv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mid := bytes.Repeat([]byte("x"), 300) // forces 16-bit length
+	if err := c.WriteMessage(OpBinary, mid); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err := c.ReadMessage()
+	if err != nil || !bytes.Equal(msg, mid) {
+		t.Fatalf("len=%d err=%v", len(msg), err)
+	}
+}
+
+func TestPingHandledTransparently(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// Ping, then a data message: client must only surface the data.
+		c.WriteMessage(OpPing, []byte("beat"))
+		c.WriteMessage(OpText, []byte("after-ping"))
+		// Expect the pong back.
+		op, msg, err := c.ReadMessage()
+		_ = op
+		_ = msg
+		_ = err
+	}))
+	defer srv.Close()
+	c, err := Dial(wsURL(srv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	op, msg, err := c.ReadMessage()
+	if err != nil || op != OpText || string(msg) != "after-ping" {
+		t.Fatalf("op=%d msg=%q err=%v", op, msg, err)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	srv := startEchoServer(t)
+	defer srv.Close()
+	c, err := Dial(wsURL(srv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.WriteMessage(OpText, []byte("x")); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startEchoServer(t)
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(wsURL(srv), nil)
+			if err != nil {
+				t.Errorf("client %d: %v", id, err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				want := []byte{byte(id), byte(j)}
+				if err := c.WriteMessage(OpBinary, want); err != nil {
+					t.Errorf("client %d write: %v", id, err)
+					return
+				}
+				_, got, err := c.ReadMessage()
+				if err != nil || !bytes.Equal(got, want) {
+					t.Errorf("client %d echo mismatch", id)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	srv := startEchoServer(t)
+	defer srv.Close()
+	c, err := Dial(wsURL(srv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.WriteMessage(OpText, bytes.Repeat([]byte("a"), 1000))
+	c.ReadMessage()
+	if c.BytesWritten < 1000 || c.BytesRead < 1000 {
+		t.Errorf("accounting: wrote %d read %d", c.BytesWritten, c.BytesRead)
+	}
+}
+
+func TestDialRejectsHTTPURL(t *testing.T) {
+	if _, err := Dial("http://example.com", nil); err == nil {
+		t.Error("want error for non-ws scheme")
+	}
+}

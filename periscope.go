@@ -1,0 +1,227 @@
+// Package periscope reproduces the measurement study "A First Look at
+// Quality of Mobile Live Streaming Experience: the Case of Periscope"
+// (Siekkinen, Masala, Kämäräinen — ACM IMC 2016) as a runnable system: a
+// Periscope-like live-streaming backend built from scratch (RTMP ingest
+// and relay, HLS packaging behind CDN edges, a rate-limited JSON API,
+// WebSocket chat with avatar delivery) together with the paper's complete
+// measurement apparatus (map crawler, automated viewer, capture analysis,
+// and a smartphone power model).
+//
+// The package exposes four studies matching the paper's evaluation:
+//
+//   - RunUsageStudy  — §4, Figures 1 and 2 (crawling usage patterns);
+//   - RunQoEStudy    — §5.1, Figures 3, 4 and 5 (stalling and latency);
+//   - RunMediaStudy  — §5.2, Figure 6 (bitrate, QP, frame patterns);
+//   - RunPowerStudy  — §5.3, Figure 7 (energy by scenario and network).
+//
+// StartTestbed launches the full wire-level service on loopback for
+// interactive use and end-to-end experiments (see examples/).
+package periscope
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"periscope/internal/analysis"
+	"periscope/internal/api"
+	"periscope/internal/broadcastmodel"
+	"periscope/internal/crawler"
+	"periscope/internal/mediaanalysis"
+	"periscope/internal/service"
+	"periscope/internal/session"
+)
+
+// Re-exported result types so downstream code can consume study outputs.
+type (
+	// Figure is a plot-ready artefact (series of points plus notes).
+	Figure = analysis.Figure
+	// Table is a textual table artefact.
+	Table = analysis.Table
+	// SessionRecord is one automated 60-second viewing session.
+	SessionRecord = session.Record
+	// MediaReport is the capture analysis of one video or segment.
+	MediaReport = mediaanalysis.Report
+	// Testbed is the running wire-level service.
+	Testbed = service.Service
+	// TestbedConfig tunes the wire-level service.
+	TestbedConfig = service.Config
+	// WireSession configures a real (non-simulated) viewing session.
+	WireSession = session.WireConfig
+)
+
+// StartTestbed launches the full service (API, regional RTMP ingest, CDN
+// POPs, chat) on loopback ports.
+func StartTestbed(cfg TestbedConfig) (*Testbed, error) { return service.Start(cfg) }
+
+// DefaultTestbedConfig returns the service defaults.
+func DefaultTestbedConfig() TestbedConfig { return service.DefaultConfig() }
+
+// WatchBroadcast runs one wire-level Teleport viewing session against a
+// testbed and returns the session record.
+func WatchBroadcast(cfg WireSession) (SessionRecord, error) { return session.WatchOnce(cfg) }
+
+// UsageStudyConfig tunes the §4 reproduction.
+type UsageStudyConfig struct {
+	// Concurrent is the steady-state number of live broadcasts (the real
+	// service held ~40 000; the default 2 000 is a 1:20 scale).
+	Concurrent int
+	// DeepCrawls is the number of deep crawls at different times of day
+	// (the paper shows several in Fig. 1).
+	DeepCrawls int
+	// CrawlGap separates the deep crawls in virtual time.
+	CrawlGap time.Duration
+	// CampaignDur is the targeted-crawl tracking span (4-10 h in §4).
+	CampaignDur time.Duration
+	Seed        int64
+}
+
+// DefaultUsageStudyConfig mirrors the paper's setup at reduced scale.
+func DefaultUsageStudyConfig() UsageStudyConfig {
+	return UsageStudyConfig{
+		Concurrent:  2000,
+		DeepCrawls:  4,
+		CrawlGap:    6 * time.Hour,
+		CampaignDur: 4 * time.Hour,
+		Seed:        1,
+	}
+}
+
+// UsageStudyResult carries the §4 outputs.
+type UsageStudyResult struct {
+	DeepCrawls []*crawler.DeepResult
+	Targeted   *crawler.TargetedResult
+	// Figures: 1(a), 1(b), 2(a), 2(b).
+	Figure1a, Figure1b, Figure2a, Figure2b Figure
+}
+
+// RunUsageStudy reproduces the §4 crawling study in virtual time: the
+// population evolves as the crawler paces its requests, so hours of
+// crawling complete in seconds of wall time.
+func RunUsageStudy(cfg UsageStudyConfig) (*UsageStudyResult, error) {
+	if cfg.Concurrent <= 0 {
+		cfg = DefaultUsageStudyConfig()
+	}
+	pc := broadcastmodel.DefaultConfig()
+	pc.TargetConcurrent = cfg.Concurrent
+	pc.Seed = cfg.Seed
+	pop := broadcastmodel.New(pc, time.Date(2016, 3, 28, 0, 0, 0, 0, time.UTC))
+
+	scfg := api.DefaultServerConfig()
+	srv := api.NewServer(pop, nil, scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	pacer := func(d time.Duration) { pop.Advance(d) }
+	res := &UsageStudyResult{}
+
+	// Deep crawls at different (virtual) times of day.
+	for i := 0; i < cfg.DeepCrawls; i++ {
+		cli := api.NewClient(base, fmt.Sprintf("deep-%d", i), nil)
+		dr, err := crawler.DeepCrawl(cli, crawler.DefaultDeepConfig(), pacer)
+		if err != nil {
+			return nil, fmt.Errorf("deep crawl %d: %w", i, err)
+		}
+		res.DeepCrawls = append(res.DeepCrawls, dr)
+		pop.Advance(cfg.CrawlGap)
+	}
+
+	// Targeted crawl over the most active areas, four parallel sessions.
+	var clients []*api.Client
+	for i := 0; i < 4; i++ {
+		clients = append(clients, api.NewClient(base, fmt.Sprintf("targeted-%d", i), nil))
+	}
+	areas := res.DeepCrawls[len(res.DeepCrawls)-1].TopAreas(64)
+	tcfg := crawler.DefaultTargetedConfig(areas)
+	tcfg.CampaignDur = cfg.CampaignDur
+	tres, err := crawler.TargetedCrawl(clients, tcfg, pop.Now, pacer)
+	if err != nil {
+		return nil, fmt.Errorf("targeted crawl: %w", err)
+	}
+	res.Targeted = tres
+
+	completed := tres.CompletedRecords()
+	res.Figure1a, res.Figure1b = analysis.Figure1(res.DeepCrawls)
+	res.Figure2a = analysis.Figure2a(completed)
+	res.Figure2b = analysis.Figure2b(completed)
+	return res, nil
+}
+
+// QoEStudyConfig tunes the §5.1 reproduction.
+type QoEStudyConfig = session.CampaignConfig
+
+// DefaultQoEStudyConfig mirrors the paper's dataset: 3 382 unlimited
+// sessions plus bandwidth sweeps of 0.5-10 Mbps.
+func DefaultQoEStudyConfig() QoEStudyConfig { return session.DefaultCampaignConfig() }
+
+// QoEStudyResult carries the §5.1 outputs.
+type QoEStudyResult struct {
+	Records []SessionRecord
+	// Figures: 3(a), 3(b), 4(a), 4(b), 5.
+	Figure3a, Figure3b, Figure4a, Figure4b, Figure5 Figure
+}
+
+// RunQoEStudy reproduces the automated-viewing QoE study in the fast tier
+// (transport simulators over the population; same playback engine as the
+// wire tier).
+func RunQoEStudy(cfg QoEStudyConfig) *QoEStudyResult {
+	if cfg.UnlimitedSessions == 0 {
+		cfg = DefaultQoEStudyConfig()
+	}
+	recs := session.NewCampaign(cfg).Run()
+	return &QoEStudyResult{
+		Records:  recs,
+		Figure3a: analysis.Figure3a(recs),
+		Figure3b: analysis.Figure3b(recs),
+		Figure4a: analysis.Figure4a(recs),
+		Figure4b: analysis.Figure4b(recs),
+		Figure5:  analysis.Figure5(recs),
+	}
+}
+
+// MediaStudyConfig tunes the §5.2 reproduction.
+type MediaStudyConfig = mediaanalysis.CorpusConfig
+
+// DefaultMediaStudyConfig returns the §5.2 corpus defaults.
+func DefaultMediaStudyConfig() MediaStudyConfig { return mediaanalysis.DefaultCorpusConfig() }
+
+// MediaStudyResult carries the §5.2 outputs.
+type MediaStudyResult struct {
+	RTMPReports []MediaReport
+	HLSReports  []MediaReport
+	SegmentDurs []time.Duration
+	Figure6a    Figure
+	Figure6b    Figure
+	Stats       Table
+}
+
+// RunMediaStudy generates a capture corpus with the real encoder and
+// container pipelines and post-analyzes it like the paper's
+// wireshark/libav toolchain.
+func RunMediaStudy(cfg MediaStudyConfig) *MediaStudyResult {
+	if cfg.Videos == 0 {
+		cfg = DefaultMediaStudyConfig()
+	}
+	rtmp, hlsSegs, segDurs := mediaanalysis.CorpusReports(cfg)
+	return &MediaStudyResult{
+		RTMPReports: rtmp,
+		HLSReports:  hlsSegs,
+		SegmentDurs: segDurs,
+		Figure6a:    analysis.Figure6a(rtmp, hlsSegs),
+		Figure6b:    analysis.Figure6b(rtmp, hlsSegs),
+		Stats:       analysis.Section52Stats(rtmp, hlsSegs, segDurs),
+	}
+}
+
+// RunPowerStudy evaluates the seven Fig. 7 scenarios on WiFi and LTE.
+func RunPowerStudy() Table { return analysis.Figure7(time.Minute) }
+
+// APITable returns Table 1 (the relevant API commands).
+func APITable() Table { return analysis.Table1() }

@@ -1,0 +1,124 @@
+package periscope
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunUsageStudySmall(t *testing.T) {
+	cfg := DefaultUsageStudyConfig()
+	cfg.Concurrent = 500
+	cfg.DeepCrawls = 2
+	cfg.CampaignDur = time.Hour
+	res, err := RunUsageStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DeepCrawls) != 2 {
+		t.Fatalf("deep crawls = %d", len(res.DeepCrawls))
+	}
+	for i, dc := range res.DeepCrawls {
+		if dc.TotalFound() < 200 {
+			t.Errorf("crawl %d found only %d", i, dc.TotalFound())
+		}
+	}
+	if len(res.Targeted.Records) == 0 {
+		t.Fatal("targeted crawl tracked nothing")
+	}
+	if len(res.Figure2a.Series) != 2 {
+		t.Error("Figure 2(a) needs duration and viewer series")
+	}
+	if len(res.Figure2b.Series[0].X) < 5 {
+		t.Error("Figure 2(b) has too few hours")
+	}
+}
+
+func TestRunQoEStudySmall(t *testing.T) {
+	cfg := DefaultQoEStudyConfig()
+	cfg.UnlimitedSessions = 200
+	cfg.LimitsMbps = []float64{0.5, 2, 10}
+	cfg.SessionsPerLimit = 25
+	cfg.PopTarget = 600
+	res := RunQoEStudy(cfg)
+	if len(res.Records) < 200 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	for _, f := range []Figure{res.Figure3a, res.Figure3b, res.Figure4a, res.Figure4b, res.Figure5} {
+		if len(f.Series) == 0 {
+			t.Errorf("%s is empty", f.ID)
+		}
+	}
+	// Key finding 3: HLS delivery latency exceeds RTMP.
+	var hlsSeries, rtmpSeries []float64
+	for _, s := range res.Figure5.Series {
+		switch s.Name {
+		case "HLS":
+			hlsSeries = s.X
+		case "RTMP":
+			rtmpSeries = s.X
+		}
+	}
+	if len(hlsSeries) == 0 || len(rtmpSeries) == 0 {
+		t.Skip("one protocol missing at this scale")
+	}
+	if hlsSeries[len(hlsSeries)/2] < rtmpSeries[len(rtmpSeries)/2] {
+		t.Error("HLS delivery latency not above RTMP")
+	}
+}
+
+func TestRunMediaStudySmall(t *testing.T) {
+	cfg := DefaultMediaStudyConfig()
+	cfg.Videos = 25
+	cfg.CaptureDur = 15 * time.Second
+	res := RunMediaStudy(cfg)
+	if len(res.RTMPReports) < 20 || len(res.HLSReports) < 40 {
+		t.Fatalf("corpus too small: %d/%d", len(res.RTMPReports), len(res.HLSReports))
+	}
+	if !strings.Contains(res.Stats.Render(), "I-frame period") {
+		t.Error("stats table incomplete")
+	}
+}
+
+func TestRunPowerStudy(t *testing.T) {
+	tbl := RunPowerStudy()
+	out := tbl.Render()
+	for _, s := range []string{"home-screen", "video-hls-chat-on", "broadcast", "4540"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("power table missing %q", s)
+		}
+	}
+}
+
+func TestAPITable(t *testing.T) {
+	if !strings.Contains(APITable().Render(), "mapGeoBroadcastFeed") {
+		t.Error("Table 1 incomplete")
+	}
+}
+
+func TestTestbedSmoke(t *testing.T) {
+	cfg := DefaultTestbedConfig()
+	cfg.PopConfig.TargetConcurrent = 50
+	// A 3-second watch cannot complete a 3.6-second HLS segment; keep the
+	// smoke test on the RTMP path.
+	cfg.HLSViewerThreshold = 1 << 30
+	tb, err := StartTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if tb.APIBaseURL() == "" || len(tb.RTMPServerNames()) == 0 {
+		t.Error("testbed endpoints missing")
+	}
+	rec, err := WatchBroadcast(WireSession{
+		APIBaseURL: tb.APIBaseURL(),
+		Session:    "smoke",
+		WatchFor:   3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Metrics.Delivered == 0 {
+		t.Error("no media in smoke session")
+	}
+}
