@@ -567,7 +567,10 @@ func BenchmarkAblationDRXTail(b *testing.B) {
 
 // --- Protocol substrate micro-benchmarks ---
 
-// BenchmarkRTMPChunkThroughput measures chunk-layer mux+demux throughput.
+// BenchmarkRTMPChunkThroughput measures chunk-layer mux+demux throughput
+// in relay steady state: the consumed payload buffer is recycled into the
+// chunk layer's pool, as the connection layer does for messages it fully
+// consumes. (internal/rtmp has split write/read/no-recycle benchmarks.)
 func BenchmarkRTMPChunkThroughput(b *testing.B) {
 	payload := make([]byte, 4096)
 	var buf bytes.Buffer
@@ -579,9 +582,11 @@ func BenchmarkRTMPChunkThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		cr := rtmp.NewChunkReader(&buf)
-		if _, err := cr.ReadMessage(); err != nil {
+		msg, err := cr.ReadMessage()
+		if err != nil {
 			b.Fatal(err)
 		}
+		rtmp.RecycleMessagePayload(msg.Payload)
 	}
 }
 

@@ -1,0 +1,3 @@
+module periscope
+
+go 1.24

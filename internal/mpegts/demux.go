@@ -19,21 +19,32 @@ type AccessUnit struct {
 type Demuxer struct {
 	pat     *PAT
 	pmt     *PMT
-	pending map[uint16]*pendingPES
+	pending []pendingPES // one per in-flight PID; linear scan beats a map
 	units   []AccessUnit
 	// ContinuityErrors counts continuity-counter gaps (lost packets).
 	ContinuityErrors int
-	lastCC           map[uint16]uint8
+	// lastCC stores continuity counter + 1 per PID; 0 means unseen.
+	lastCC [pidLimit]uint8
 }
 
 type pendingPES struct {
-	data     []byte
+	pid      uint16
 	keyframe bool
+	data     []byte
 }
 
 // NewDemuxer returns an empty demuxer.
 func NewDemuxer() *Demuxer {
-	return &Demuxer{pending: map[uint16]*pendingPES{}, lastCC: map[uint16]uint8{}}
+	return &Demuxer{}
+}
+
+func (d *Demuxer) findPending(pid uint16) *pendingPES {
+	for i := range d.pending {
+		if d.pending[i].pid == pid && d.pending[i].data != nil {
+			return &d.pending[i]
+		}
+	}
+	return nil
 }
 
 // Feed consumes any whole packets in data (len must be a multiple of 188).
@@ -54,13 +65,11 @@ func (d *Demuxer) feedPacket(raw []byte) error {
 	if err != nil {
 		return err
 	}
-	if last, ok := d.lastCC[pkt.PID]; ok && pkt.Payload != nil {
-		if (last+1)&0x0F != pkt.ContinuityCount {
+	if pkt.Payload != nil {
+		if last := d.lastCC[pkt.PID]; last != 0 && last&0x0F != pkt.ContinuityCount {
 			d.ContinuityErrors++
 		}
-	}
-	if pkt.Payload != nil {
-		d.lastCC[pkt.PID] = pkt.ContinuityCount
+		d.lastCC[pkt.PID] = (pkt.ContinuityCount+1)&0x0F | 0x10
 	}
 	switch pkt.PID {
 	case PIDPAT:
@@ -90,25 +99,35 @@ func (d *Demuxer) feedPacket(raw []byte) error {
 	// Elementary stream payload.
 	if pkt.PUSI {
 		d.flushPID(pkt.PID)
-		d.pending[pkt.PID] = &pendingPES{
-			data:     append([]byte(nil), pkt.Payload...),
-			keyframe: pkt.RandomAccess,
+		data := make([]byte, len(pkt.Payload), 4096)
+		copy(data, pkt.Payload)
+		for i := range d.pending {
+			if d.pending[i].data == nil {
+				d.pending[i] = pendingPES{pid: pkt.PID, keyframe: pkt.RandomAccess, data: data}
+				return nil
+			}
 		}
+		d.pending = append(d.pending, pendingPES{pid: pkt.PID, keyframe: pkt.RandomAccess, data: data})
 		return nil
 	}
-	if p, ok := d.pending[pkt.PID]; ok {
+	if p := d.findPending(pkt.PID); p != nil {
 		p.data = append(p.data, pkt.Payload...)
 	}
 	return nil
 }
 
 func (d *Demuxer) flushPID(pid uint16) {
-	p, ok := d.pending[pid]
-	if !ok || len(p.data) == 0 {
+	p := d.findPending(pid)
+	if p == nil {
 		return
 	}
-	delete(d.pending, pid)
-	pes, err := ParsePES(p.data)
+	data := p.data
+	keyframe := p.keyframe
+	p.data = nil // slot reusable
+	if len(data) == 0 {
+		return
+	}
+	pes, err := ParsePES(data)
 	if err != nil {
 		return // incomplete PES at stream start; drop silently
 	}
@@ -117,15 +136,17 @@ func (d *Demuxer) flushPID(pid uint16) {
 		StreamID: pes.StreamID,
 		PTS:      pes.PTS,
 		DTS:      pes.DTS,
-		Keyframe: p.keyframe,
+		Keyframe: keyframe,
 		Data:     pes.Data,
 	})
 }
 
 // Flush finalizes any pending PES packets (call at end of stream).
 func (d *Demuxer) Flush() {
-	for pid := range d.pending {
-		d.flushPID(pid)
+	for i := range d.pending {
+		if d.pending[i].data != nil {
+			d.flushPID(d.pending[i].pid)
+		}
 	}
 }
 

@@ -1,16 +1,20 @@
 package mpegts
 
 import (
-	"bytes"
 	"time"
 )
 
+// pidLimit bounds the 13-bit PID space for the continuity-counter array.
+const pidLimit = 0x2000
+
 // Muxer writes a single-program transport stream with one AVC video and
 // one AAC audio elementary stream, the layout observed in Periscope HLS
-// segments.
+// segments. Packets are appended to an internal buffer that Bytes() hands
+// off without copying; PES packets are marshalled straight into TS
+// packets with no intermediate full-payload allocation.
 type Muxer struct {
-	buf       bytes.Buffer
-	cc        map[uint16]*uint8
+	out       []byte
+	cc        [pidLimit]uint8
 	pat       PAT
 	pmt       PMT
 	wrotePSI  bool
@@ -20,8 +24,7 @@ type Muxer struct {
 
 // NewMuxer returns a muxer ready to accept access units.
 func NewMuxer() *Muxer {
-	m := &Muxer{
-		cc: map[uint16]*uint8{},
+	return &Muxer{
 		pat: PAT{
 			TransportStreamID: 1,
 			ProgramNumber:     1,
@@ -37,17 +40,11 @@ func NewMuxer() *Muxer {
 		},
 		psiPeriod: 64,
 	}
-	for _, pid := range []uint16{PIDPAT, PIDPMT, PIDVideo, PIDAudio} {
-		var c uint8
-		m.cc[pid] = &c
-	}
-	return m
 }
 
 func (m *Muxer) nextCC(pid uint16) uint8 {
-	c := m.cc[pid]
-	v := *c
-	*c = (v + 1) & 0x0F
+	v := m.cc[pid]
+	m.cc[pid] = (v + 1) & 0x0F
 	return v
 }
 
@@ -58,11 +55,22 @@ func (m *Muxer) writePSI() {
 		pid uint16
 		sec []byte
 	}{{PIDPAT, m.pat.Marshal()}, {PIDPMT, m.pmt.Marshal()}} {
-		payload := append([]byte{0}, t.sec...) // pointer_field = 0
+		var sec [1 + PacketSize]byte // pointer_field = 0, then the section
+		var payload []byte
+		if len(t.sec) < len(sec) {
+			payload = sec[: 1+copy(sec[1:], t.sec) : len(sec)]
+		} else {
+			// Oversized section (many streams/descriptors): fall back to a
+			// heap buffer rather than truncating.
+			payload = append(make([]byte, 1, 1+len(t.sec)), t.sec...)
+		}
+		first := true
 		for len(payload) > 0 {
-			pkt, n := buildPacket(t.pid, len(payload) == len(t.sec)+1, m.nextCC(t.pid), false, nil, payload)
-			m.buf.Write(pkt[:])
+			var pkt [PacketSize]byte
+			n := fillPacket(&pkt, t.pid, first, m.nextCC(t.pid), false, nil, payload, nil)
+			m.out = append(m.out, pkt[:]...)
 			payload = payload[n:]
+			first = false
 		}
 	}
 	m.wrotePSI = true
@@ -92,31 +100,55 @@ func (m *Muxer) maybePSI() {
 	m.auCount++
 }
 
+// writePES packetizes one PES directly into TS packets: the PES header is
+// marshalled into a stack buffer and the elementary payload is consumed
+// in place, so the access unit is copied exactly once (into the output).
 func (m *Muxer) writePES(pid uint16, pes PES, rai bool, pcr *uint64) {
-	payload := pes.Marshal()
+	var hdr [pesMaxHeaderLen]byte
+	head := hdr[:pes.marshalHeader(hdr[:])]
+	data := pes.Data
+
+	// Reserve output space for every packet of this PES in one step.
+	total := len(head) + len(data)
+	pkts := (total + PacketSize - 5) / (PacketSize - 4)
+	if need := len(m.out) + pkts*PacketSize; cap(m.out) < need {
+		grown := make([]byte, len(m.out), need+need/2)
+		copy(grown, m.out)
+		m.out = grown
+	}
+
 	first := true
-	for len(payload) > 0 {
+	for len(head)+len(data) > 0 {
 		var pkt [PacketSize]byte
 		var n int
 		if first {
-			pkt, n = buildPacket(pid, true, m.nextCC(pid), rai, pcr, payload)
+			n = fillPacket(&pkt, pid, true, m.nextCC(pid), rai, pcr, head, data)
 			first = false
 		} else {
-			pkt, n = buildPacket(pid, false, m.nextCC(pid), false, nil, payload)
+			n = fillPacket(&pkt, pid, false, m.nextCC(pid), false, nil, head, data)
 		}
-		m.buf.Write(pkt[:])
-		payload = payload[n:]
+		m.out = append(m.out, pkt[:]...)
+		if h := len(head); n <= h {
+			head = head[n:]
+			n = 0
+		} else {
+			head = nil
+			n -= h
+		}
+		data = data[n:]
 	}
 }
 
-// Bytes returns the muxed stream so far and resets the internal buffer
-// (continuity counters persist, so successive calls produce splice-able
-// chunks — exactly how a live HLS segmenter drains the muxer per segment).
+// Bytes returns the muxed stream accumulated since the last call, handing
+// off ownership of the returned slice without a copy; the muxer starts a
+// fresh buffer. Continuity counters persist, so successive calls produce
+// splice-able chunks — exactly how a live HLS segmenter drains the muxer
+// per segment.
 func (m *Muxer) Bytes() []byte {
-	out := append([]byte(nil), m.buf.Bytes()...)
-	m.buf.Reset()
+	out := m.out
+	m.out = nil
 	return out
 }
 
 // Len reports the bytes currently buffered.
-func (m *Muxer) Len() int { return m.buf.Len() }
+func (m *Muxer) Len() int { return len(m.out) }

@@ -97,11 +97,20 @@ func header(b []byte, pid uint16, pusi bool, cc uint8, afc uint8) {
 	b[3] = afc<<4 | cc&0x0F
 }
 
-// buildPacket assembles one TS packet: header, optional adaptation field
-// with PCR/random-access flags and stuffing, then as much payload as fits.
+// buildPacket assembles one TS packet from a single contiguous payload.
 // It returns the packet and the number of payload bytes consumed.
 func buildPacket(pid uint16, pusi bool, cc uint8, rai bool, pcr *uint64, payload []byte) ([PacketSize]byte, int) {
 	var pkt [PacketSize]byte
+	n := fillPacket(&pkt, pid, pusi, cc, rai, pcr, payload, nil)
+	return pkt, n
+}
+
+// fillPacket assembles one TS packet in place: header, optional adaptation
+// field with PCR/random-access flags and stuffing, then as much payload as
+// fits, drawn first from head and then from tail (the PES header and its
+// elementary payload, without requiring them to be contiguous). It returns
+// the number of payload bytes consumed.
+func fillPacket(pkt *[PacketSize]byte, pid uint16, pusi bool, cc uint8, rai bool, pcr *uint64, head, tail []byte) int {
 	needAF := rai || pcr != nil
 	afLen := 0 // length byte value, excluding the length byte itself
 	if needAF {
@@ -115,7 +124,7 @@ func buildPacket(pid uint16, pusi bool, cc uint8, rai bool, pcr *uint64, payload
 	if needAF {
 		space -= 1 + afLen
 	}
-	n := len(payload)
+	n := len(head) + len(tail)
 	if n > space {
 		n = space
 	}
@@ -171,23 +180,35 @@ func buildPacket(pid uint16, pusi bool, cc uint8, rai bool, pcr *uint64, payload
 			}
 		}
 	}
-	copy(pkt[pos:], payload[:n])
-	return pkt, n
+	c := copy(pkt[pos:], head)
+	if c < n {
+		copy(pkt[pos+c:], tail[:n-c])
+	}
+	return n
 }
 
-// CRC32 computes the CRC-32/MPEG-2 checksum used by PSI sections
-// (polynomial 0x04C11DB7, init 0xFFFFFFFF, no reflection, no final xor).
-func CRC32(data []byte) uint32 {
-	crc := uint32(0xFFFFFFFF)
-	for _, b := range data {
-		crc ^= uint32(b) << 24
-		for i := 0; i < 8; i++ {
+// crcTable holds the byte-at-a-time lookup table for CRC-32/MPEG-2.
+var crcTable = func() (t [256]uint32) {
+	for i := range t {
+		crc := uint32(i) << 24
+		for j := 0; j < 8; j++ {
 			if crc&0x80000000 != 0 {
 				crc = crc<<1 ^ 0x04C11DB7
 			} else {
 				crc <<= 1
 			}
 		}
+		t[i] = crc
+	}
+	return
+}()
+
+// CRC32 computes the CRC-32/MPEG-2 checksum used by PSI sections
+// (polynomial 0x04C11DB7, init 0xFFFFFFFF, no reflection, no final xor).
+func CRC32(data []byte) uint32 {
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>24)^b]
 	}
 	return crc
 }

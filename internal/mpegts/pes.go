@@ -36,9 +36,15 @@ func FromTicks(t int64) time.Duration {
 	return time.Duration(t * int64(time.Second) / ClockFrequency)
 }
 
-// Marshal encodes the PES packet. Video PES uses packet length 0
-// (unbounded) when the payload exceeds 16 bits, as permitted for video.
-func (p PES) Marshal() []byte {
+// pesMaxHeaderLen is the largest header this muxer emits: 9 fixed bytes
+// plus PTS and DTS fields.
+const pesMaxHeaderLen = 9 + 5 + 5
+
+// marshalHeader encodes the PES header (everything before Data) into dst,
+// which must hold pesMaxHeaderLen bytes, and returns the encoded length.
+// Video PES uses packet length 0 (unbounded) when the payload exceeds
+// 16 bits, as permitted for video.
+func (p PES) marshalHeader(dst []byte) int {
 	var flags byte
 	hdrLen := 0
 	if p.PTS != NoTimestamp {
@@ -53,7 +59,7 @@ func (p PES) Marshal() []byte {
 	if pesLen > 0xFFFF {
 		pesLen = 0 // unbounded, video only
 	}
-	out := make([]byte, 0, 9+hdrLen+len(p.Data))
+	out := dst[:0]
 	out = append(out, 0x00, 0x00, 0x01, p.StreamID)
 	out = append(out, byte(pesLen>>8), byte(pesLen))
 	out = append(out, 0x80) // marker '10', no scrambling
@@ -69,6 +75,15 @@ func (p PES) Marshal() []byte {
 	if flags&0x40 != 0 {
 		out = appendTimestamp(out, 0x1, p.DTS)
 	}
+	return len(out)
+}
+
+// Marshal encodes the PES packet into a single contiguous buffer.
+func (p PES) Marshal() []byte {
+	var hdr [pesMaxHeaderLen]byte
+	n := p.marshalHeader(hdr[:])
+	out := make([]byte, 0, n+len(p.Data))
+	out = append(out, hdr[:n]...)
 	return append(out, p.Data...)
 }
 

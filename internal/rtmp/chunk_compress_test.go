@@ -1,0 +1,265 @@
+package rtmp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// roundTrip writes msgs on csid and reads them back, failing on any
+// mismatch of type, stream id, timestamp or payload.
+func roundTrip(t *testing.T, csid uint32, msgs []Message) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := NewChunkWriter(&buf)
+	for i, m := range msgs {
+		if err := cw.WriteMessage(csid, m); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	wire := bytes.NewBuffer(append([]byte(nil), buf.Bytes()...))
+	cr := NewChunkReader(wire)
+	for i, want := range msgs {
+		got, err := cr.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.TypeID != want.TypeID || got.StreamID != want.StreamID || got.Timestamp != want.Timestamp {
+			t.Fatalf("message %d: got type=%d stream=%d ts=%d, want type=%d stream=%d ts=%d",
+				i, got.TypeID, got.StreamID, got.Timestamp, want.TypeID, want.StreamID, want.Timestamp)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("message %d: payload mismatch", i)
+		}
+	}
+	return &buf
+}
+
+// naiveSize is the wire size if every message used a full type-0 header
+// (the seed writer's behaviour): 12-byte header per message plus a 1-byte
+// type-3 basic header per continuation chunk, plus extended timestamps.
+func naiveSize(msgs []Message, chunkSize int) int {
+	total := 0
+	for _, m := range msgs {
+		ext := 0
+		if m.Timestamp >= extendedTimestampSentinel {
+			ext = 4
+		}
+		chunks := (len(m.Payload) + chunkSize - 1) / chunkSize
+		if chunks == 0 {
+			chunks = 1
+		}
+		total += 12 + ext + len(m.Payload) + (chunks-1)*(1+ext)
+	}
+	return total
+}
+
+func TestCompressedHeadersSteadyStream(t *testing.T) {
+	// A steady media stream: constant size, type and timestamp delta.
+	// After the type-0 opener and one type-2 (delta change from 0), every
+	// message should cost a single type-3 header byte.
+	payload := make([]byte, 100)
+	var msgs []Message
+	for i := 0; i < 10; i++ {
+		msgs = append(msgs, Message{TypeID: TypeVideo, StreamID: 1, Timestamp: uint32(i * 40), Payload: payload})
+	}
+	buf := roundTrip(t, 4, msgs)
+	// type-0 (12) + type-2 (4) + 8 × type-3 (1) + payloads.
+	want := 12 + 4 + 8*1 + 10*len(payload)
+	if buf.Len() != want {
+		t.Errorf("wire size = %d, want %d", buf.Len(), want)
+	}
+	if naive := naiveSize(msgs, DefaultChunkSize); buf.Len() >= naive {
+		t.Errorf("compressed %d bytes !< all-type-0 %d bytes", buf.Len(), naive)
+	}
+}
+
+func TestCompressedHeadersLengthChange(t *testing.T) {
+	// A length change on the same stream downgrades to type 1, not type 0.
+	msgs := []Message{
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 0, Payload: make([]byte, 100)},
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 40, Payload: make([]byte, 120)},
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 80, Payload: make([]byte, 120)},
+	}
+	buf := roundTrip(t, 4, msgs)
+	// type-0 (12) + type-1 (8) + type-3 (1) + payloads.
+	want := 12 + 8 + 1 + 100 + 120 + 120
+	if buf.Len() != want {
+		t.Errorf("wire size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestCompressedHeadersTypeChange(t *testing.T) {
+	// Audio interleaved on the SAME chunk stream forces type 1 headers.
+	msgs := []Message{
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 0, Payload: make([]byte, 50)},
+		{TypeID: TypeAudio, StreamID: 1, Timestamp: 20, Payload: make([]byte, 50)},
+	}
+	buf := roundTrip(t, 4, msgs)
+	if want := 12 + 8 + 100; buf.Len() != want {
+		t.Errorf("wire size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestCompressedHeadersBackwardsTimestamp(t *testing.T) {
+	// A timestamp jump backwards cannot be a delta: full type-0 again.
+	msgs := []Message{
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 5000, Payload: make([]byte, 10)},
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 1000, Payload: make([]byte, 10)},
+	}
+	buf := roundTrip(t, 4, msgs)
+	if want := 12 + 12 + 20; buf.Len() != want {
+		t.Errorf("wire size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestCompressedHeadersStreamIDChange(t *testing.T) {
+	// A message-stream id change requires a full type-0 header.
+	msgs := []Message{
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 0, Payload: make([]byte, 10)},
+		{TypeID: TypeVideo, StreamID: 2, Timestamp: 40, Payload: make([]byte, 10)},
+	}
+	buf := roundTrip(t, 4, msgs)
+	if want := 12 + 12 + 20; buf.Len() != want {
+		t.Errorf("wire size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestCompressedHeadersExtendedDelta(t *testing.T) {
+	// Deltas at and above the 24-bit sentinel use the extended timestamp
+	// field in type-1/2 headers and in fresh type-3 messages.
+	const big = uint32(extendedTimestampSentinel) + 5
+	msgs := []Message{
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 100, Payload: make([]byte, 30)},
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 100 + big, Payload: make([]byte, 30)},
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 100 + 2*big, Payload: make([]byte, 30)},
+		// Back to a small delta: the extended field must disappear.
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 100 + 2*big + 40, Payload: make([]byte, 30)},
+	}
+	buf := roundTrip(t, 4, msgs)
+	// type-0 (12) + type-2+ext (4+4) + fresh type-3+ext (1+4) + type-2 (4).
+	want := 12 + 8 + 5 + 4 + 4*30
+	if buf.Len() != want {
+		t.Errorf("wire size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestCompressedHeadersExtendedMultiChunk(t *testing.T) {
+	// An extended-timestamp message spanning several chunks repeats the
+	// 4-byte field after every continuation basic header.
+	payload := make([]byte, 3*DefaultChunkSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	msgs := []Message{
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 0x01000000, Payload: payload},
+		{TypeID: TypeVideo, StreamID: 1, Timestamp: 0x02000000, Payload: payload},
+	}
+	buf := roundTrip(t, 4, msgs)
+	// msg1: type-0+ext (16) + 2 continuations (1+4 each).
+	// msg2: delta 0x01000000 ≥ sentinel: type-2+ext (8) + 2 continuations.
+	want := 16 + 2*5 + 8 + 2*5 + 2*len(payload)
+	if buf.Len() != want {
+		t.Errorf("wire size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestCompressedHeadersInterleavedStreams(t *testing.T) {
+	// Two chunk streams keep independent compression state.
+	var buf bytes.Buffer
+	cw := NewChunkWriter(&buf)
+	payload := make([]byte, 64)
+	for i := 0; i < 6; i++ {
+		csid := uint32(4)
+		typeID := uint8(TypeVideo)
+		if i%2 == 1 {
+			csid = 5
+			typeID = TypeAudio
+		}
+		if err := cw.WriteMessage(csid, Message{TypeID: typeID, StreamID: 1, Timestamp: uint32(i / 2 * 40), Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cr := NewChunkReader(&buf)
+	for i := 0; i < 6; i++ {
+		got, err := cr.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		wantType := uint8(TypeVideo)
+		if i%2 == 1 {
+			wantType = TypeAudio
+		}
+		if got.TypeID != wantType || got.Timestamp != uint32(i/2*40) {
+			t.Fatalf("message %d: type=%d ts=%d", i, got.TypeID, got.Timestamp)
+		}
+	}
+}
+
+func TestCompressedHeadersLargeChunkSize(t *testing.T) {
+	// Direct-write path: payload segments above the staging threshold with
+	// a negotiated 4096-byte chunk size.
+	var buf bytes.Buffer
+	cw := NewChunkWriter(&buf)
+	cw.SetChunkSize(4096)
+	payload := make([]byte, 10000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var msgs []Message
+	for i := 0; i < 3; i++ {
+		msgs = append(msgs, Message{TypeID: TypeVideo, StreamID: 1, Timestamp: uint32(i * 40), Payload: payload})
+	}
+	for i, m := range msgs {
+		if err := cw.WriteMessage(7, m); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	cr := NewChunkReader(&buf)
+	cr.SetChunkSize(4096)
+	for i, want := range msgs {
+		got, err := cr.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Timestamp != want.Timestamp || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}
+
+func TestShortPingRequestDoesNotPanic(t *testing.T) {
+	// A ping request with no timestamp data must be answered (clamped),
+	// not crash the read loop with a slice out of range.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewConn(a), NewConn(b)
+	done := make(chan error, 1)
+	go func() {
+		// Reader side: handles the ping internally, then sees the video.
+		msg, err := cb.ReadMessage()
+		if err == nil && msg.TypeID != TypeVideo {
+			err = fmt.Errorf("got type %d, want video", msg.TypeID)
+		}
+		done <- err
+	}()
+	if err := ca.WriteMessage(Message{TypeID: TypeUserControl, Payload: MarshalUserControl(EventPingRequest)}); err != nil {
+		t.Fatal(err)
+	}
+	// The reader writes the pong while we write the video; drain it.
+	go ca.ReadMessage()
+	if err := ca.WriteMessage(Message{TypeID: TypeVideo, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not complete")
+	}
+}

@@ -1,6 +1,7 @@
 package rtmp
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -16,11 +17,18 @@ const DefaultWindowAckSize = 2_500_000
 // per-message overhead low for video.
 const preferredChunkSize = 4096
 
+// connBufSize sizes the buffered transport on each side: large enough to
+// hold a whole video message's chunks, so one message costs one syscall
+// instead of one per chunk header.
+const connBufSize = 16 << 10
+
 // Conn is an RTMP connection after a successful handshake. It layers
 // message read/write over the chunk stream, maintains acknowledgement
-// accounting and answers protocol pings transparently.
+// accounting and answers protocol pings transparently. Both directions
+// are buffered; writes are flushed at message boundaries.
 type Conn struct {
 	nc net.Conn
+	bw *bufio.Writer
 	cr *ChunkReader
 	cw *ChunkWriter
 
@@ -35,10 +43,14 @@ type Conn struct {
 
 // NewConn wraps an already-handshaken net.Conn.
 func NewConn(nc net.Conn) *Conn {
+	// The ChunkReader buffers reads internally; only the write side needs
+	// the bufio layer to coalesce header/payload writes into one syscall.
+	bw := bufio.NewWriterSize(nc, connBufSize)
 	return &Conn{
 		nc:            nc,
+		bw:            bw,
 		cr:            NewChunkReader(nc),
-		cw:            NewChunkWriter(nc),
+		cw:            NewChunkWriter(bw),
 		peerWindowAck: DefaultWindowAckSize,
 		nextTx:        1,
 	}
@@ -76,7 +88,10 @@ func (c *Conn) WriteMessage(msg Message) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return c.cw.WriteMessage(csid, msg)
+	if err := c.cw.WriteMessage(csid, msg); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // SetChunkSize announces and applies a new outgoing chunk size.
@@ -106,24 +121,35 @@ func (c *Conn) ReadMessage() (Message, error) {
 				return Message{}, err
 			}
 		}
+		// Messages consumed here never reach the caller, so their pooled
+		// payload buffers can be recycled immediately.
 		switch msg.TypeID {
 		case TypeSetChunkSize, TypeAck, TypeAbort:
+			RecycleMessagePayload(msg.Payload)
 			continue
 		case TypeWindowAckSize:
 			if v, err := parseUint32Payload(msg.Payload); err == nil {
 				c.peerWindowAck = v
 			}
+			RecycleMessagePayload(msg.Payload)
 			continue
 		case TypeSetPeerBandwidth:
+			RecycleMessagePayload(msg.Payload)
 			continue
 		case TypeUserControl:
 			ev, err := ParseUserControl(msg.Payload)
 			if err == nil && ev.Event == EventPingRequest {
+				// Echo at most the 4-byte timestamp; a short request must
+				// not slice past what the peer actually sent.
 				resp := MarshalUserControl(EventPingResponse)
 				resp = append(resp, ev.Data...)
-				if err := c.WriteMessage(Message{TypeID: TypeUserControl, Payload: resp[:6]}); err != nil {
+				if len(resp) > 6 {
+					resp = resp[:6]
+				}
+				if err := c.WriteMessage(Message{TypeID: TypeUserControl, Payload: resp}); err != nil {
 					return Message{}, err
 				}
+				RecycleMessagePayload(msg.Payload)
 				continue
 			}
 			return msg, nil
@@ -202,9 +228,11 @@ func (c *Conn) waitResult(tx float64) (Command, error) {
 			return Command{}, err
 		}
 		if msg.TypeID != TypeCommandAMF0 {
+			RecycleMessagePayload(msg.Payload)
 			continue
 		}
 		cmd, err := ParseCommand(msg)
+		RecycleMessagePayload(msg.Payload)
 		if err != nil {
 			return Command{}, err
 		}

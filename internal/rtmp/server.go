@@ -119,6 +119,9 @@ func (sc *ServerConn) loop() error {
 		switch msg.TypeID {
 		case TypeCommandAMF0:
 			cmd, err := ParseCommand(msg)
+			// AMF decoding copies every value out of the payload, so the
+			// buffer can go back to the chunk-layer pool immediately.
+			RecycleMessagePayload(msg.Payload)
 			if err != nil {
 				continue
 			}

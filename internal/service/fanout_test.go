@@ -1,0 +1,149 @@
+package service
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"periscope/internal/broadcastmodel"
+	"periscope/internal/flv"
+	"periscope/internal/rtmp"
+)
+
+// fakeAddr satisfies net.Addr for the in-memory connections below.
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+// baseConn implements the inert parts of net.Conn.
+type baseConn struct{}
+
+func (baseConn) Read(b []byte) (int, error)         { select {} }
+func (baseConn) Close() error                       { return nil }
+func (baseConn) LocalAddr() net.Addr                { return fakeAddr{} }
+func (baseConn) RemoteAddr() net.Addr               { return fakeAddr{} }
+func (baseConn) SetDeadline(t time.Time) error      { return nil }
+func (baseConn) SetReadDeadline(t time.Time) error  { return nil }
+func (baseConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// stallConn blocks every Write until unblocked: a viewer whose TCP window
+// has collapsed.
+type stallConn struct {
+	baseConn
+	unblock chan struct{}
+}
+
+func (c *stallConn) Write(b []byte) (int, error) {
+	<-c.unblock
+	return len(b), nil
+}
+
+// countConn counts bytes written: a healthy viewer draining instantly.
+type countConn struct {
+	baseConn
+	n atomic.Int64
+}
+
+func (c *countConn) Write(b []byte) (int, error) {
+	c.n.Add(int64(len(b)))
+	return len(b), nil
+}
+
+// keyframeTag builds a parseable FLV video keyframe tag of roughly the
+// given payload size.
+func keyframeTag(size int) []byte {
+	return flv.VideoTagData{
+		FrameType:  flv.VideoKeyFrame,
+		PacketType: flv.AVCNALU,
+		Data:       make([]byte, size),
+	}.Marshal()
+}
+
+func benchHub() *hub {
+	return newHub(nil, &broadcastmodel.Broadcast{ID: "bench"})
+}
+
+func stopViewers(h *hub) {
+	h.mu.Lock()
+	viewers := append([]*viewerState(nil), h.viewers...)
+	h.mu.Unlock()
+	for _, v := range viewers {
+		v.stop()
+	}
+}
+
+// TestSlowViewerDoesNotStallOthers covers the head-of-line requirement: a
+// viewer whose connection has stalled completely must not delay delivery
+// to the other viewers of the same broadcast.
+func TestSlowViewerDoesNotStallOthers(t *testing.T) {
+	h := benchHub()
+	defer stopViewers(h)
+
+	stalled := &stallConn{unblock: make(chan struct{})}
+	defer close(stalled.unblock)
+	healthy := &countConn{}
+	h.addViewer(&rtmp.ServerConn{Conn: rtmp.NewConn(stalled)})
+	h.addViewer(&rtmp.ServerConn{Conn: rtmp.NewConn(healthy)})
+
+	tag := keyframeTag(1024)
+	// More messages than the queue holds, so the stalled viewer must hit
+	// the drop-oldest policy while the healthy one keeps receiving.
+	sent := viewerQueueDepth + 128
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < sent; i++ {
+			h.onMedia(rtmp.Message{TypeID: rtmp.TypeVideo, Timestamp: uint32(i * 33), Payload: tag})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fan-out blocked on the stalled viewer")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	want := int64(sent) * int64(len(tag)) / 2 // allow chunk overhead slack
+	for time.Now().Before(deadline) {
+		if healthy.n.Load() >= want {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := healthy.n.Load(); got < want {
+		t.Fatalf("healthy viewer received %d bytes, want at least %d", got, want)
+	}
+
+	h.mu.Lock()
+	stalledDrops := h.viewers[0].dropped
+	h.mu.Unlock()
+	if stalledDrops == 0 {
+		t.Error("stalled viewer never hit the drop-oldest policy")
+	}
+}
+
+// BenchmarkHubFanout measures fan-out of paced media messages to N
+// attached viewers; SetBytes counts the payload delivered per operation
+// across all viewers.
+func BenchmarkHubFanout(b *testing.B) {
+	for _, n := range []int{10, 100, 500} {
+		b.Run(fmt.Sprintf("viewers=%d", n), func(b *testing.B) {
+			h := benchHub()
+			defer stopViewers(h)
+			for i := 0; i < n; i++ {
+				h.addViewer(&rtmp.ServerConn{Conn: rtmp.NewConn(&countConn{})})
+			}
+			tag := keyframeTag(4096)
+			msg := rtmp.Message{TypeID: rtmp.TypeVideo, Payload: tag}
+			b.SetBytes(int64(len(tag)) * int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg.Timestamp = uint32(i * 33)
+				h.onMedia(msg)
+			}
+		})
+	}
+}

@@ -92,12 +92,88 @@ func (s *Service) ensureHub(b *broadcastmodel.Broadcast) (*hub, error) {
 	return h, nil
 }
 
-// viewerState tracks one attached RTMP viewer.
+// viewerQueueDepth bounds each viewer's async send queue. At ~30 media
+// messages per second this is several seconds of backlog.
+const viewerQueueDepth = 256
+
+// viewerMaxDrops disconnects a viewer that the drop-oldest policy has had
+// to penalize this many times — it is not keeping up at all.
+const viewerMaxDrops = 4096
+
+// outMsg is one queued media message for a viewer.
+type outMsg struct {
+	typeID    uint8
+	timestamp uint32
+	payload   []byte
+}
+
+// viewerState tracks one attached RTMP viewer. Media is enqueued on a
+// bounded channel and written by a dedicated goroutine, so a slow or
+// stalled viewer socket never blocks the publisher's fan-out loop.
 type viewerState struct {
 	conn *rtmp.ServerConn
+	ch   chan outMsg
+	quit chan struct{}
+	once sync.Once
 	// waiting is true until the next keyframe; streams always start
 	// decodable, which costs up to a GOP of join delay, as real relays do.
+	// It is touched only by the hub's single fan-out goroutine (and at
+	// attach time, before the viewer is published to that goroutine).
 	waiting bool
+	// needSeq is set when the drop-oldest policy may have evicted the
+	// queued sequence headers; they are re-sent at the next resync.
+	needSeq bool
+	// dropped counts messages discarded by the drop-oldest policy.
+	dropped int
+}
+
+// enqueue offers a message to the viewer's queue without ever blocking.
+// When the queue is full the oldest entry is dropped to make room; it
+// reports whether anything was dropped.
+func (v *viewerState) enqueue(m outMsg) bool {
+	select {
+	case v.ch <- m:
+		return false
+	default:
+	}
+	select {
+	case <-v.ch:
+	default:
+	}
+	select {
+	case v.ch <- m:
+	default:
+	}
+	return true
+}
+
+// stop wakes the sender goroutine for shutdown; it is idempotent.
+func (v *viewerState) stop() {
+	v.once.Do(func() { close(v.quit) })
+}
+
+// run drains the queue onto the viewer's connection. A write error closes
+// the connection; the viewer's read loop then triggers OnClose and the
+// hub removes it.
+func (v *viewerState) run() {
+	for {
+		select {
+		case <-v.quit:
+			return
+		case m := <-v.ch:
+			var err error
+			switch m.typeID {
+			case rtmp.TypeVideo:
+				err = v.conn.SendVideo(m.timestamp, m.payload)
+			case rtmp.TypeAudio:
+				err = v.conn.SendAudio(m.timestamp, m.payload)
+			}
+			if err != nil {
+				v.conn.Close()
+				return
+			}
+		}
+	}
 }
 
 // hub is the per-broadcast distribution pipeline.
@@ -223,18 +299,32 @@ func (h *hub) produce(cli *rtmp.Client, enc *media.Encoder, rng *rand.Rand) {
 }
 
 // addViewer attaches an RTMP viewer; it receives the sequence headers
-// immediately and media from the next keyframe.
+// immediately and media from the next keyframe. The sequence headers are
+// enqueued while the viewer is registered, so they always precede media.
 func (h *hub) addViewer(c *rtmp.ServerConn) {
+	v := &viewerState{
+		conn:    c,
+		ch:      make(chan outMsg, viewerQueueDepth),
+		quit:    make(chan struct{}),
+		waiting: true,
+	}
 	h.mu.Lock()
-	videoSeq, audioSeq := h.videoSeq, h.audioSeq
-	h.viewers = append(h.viewers, &viewerState{conn: c, waiting: true})
+	if h.stopped {
+		// Racing hub.stop(): nothing will ever stop a viewer attached
+		// now, so refuse it instead of leaking its sender goroutine.
+		h.mu.Unlock()
+		c.Close()
+		return
+	}
+	if h.videoSeq != nil {
+		v.enqueue(outMsg{typeID: rtmp.TypeVideo, payload: h.videoSeq})
+	}
+	if h.audioSeq != nil {
+		v.enqueue(outMsg{typeID: rtmp.TypeAudio, payload: h.audioSeq})
+	}
+	h.viewers = append(h.viewers, v)
 	h.mu.Unlock()
-	if videoSeq != nil {
-		c.SendVideo(0, videoSeq)
-	}
-	if audioSeq != nil {
-		c.SendAudio(0, audioSeq)
-	}
+	go v.run()
 }
 
 func (h *hub) removeViewer(c *rtmp.ServerConn) {
@@ -242,6 +332,7 @@ func (h *hub) removeViewer(c *rtmp.ServerConn) {
 	defer h.mu.Unlock()
 	for i, v := range h.viewers {
 		if v.conn == c {
+			v.stop()
 			h.viewers = append(h.viewers[:i], h.viewers[i+1:]...)
 			return
 		}
@@ -275,21 +366,43 @@ func (h *hub) onMedia(msg rtmp.Message) {
 		}
 	}
 	viewers := append([]*viewerState(nil), h.viewers...)
+	videoSeq, audioSeq := h.videoSeq, h.audioSeq
 	seg := h.seg
 	h.mu.Unlock()
 
+	// The FLV tag header was parsed once above; fan-out is non-blocking:
+	// each viewer has its own bounded queue and sender goroutine, so a
+	// stalled socket penalizes only that viewer, never the broadcast.
+	out := outMsg{typeID: msg.TypeID, timestamp: msg.Timestamp, payload: msg.Payload}
 	for _, v := range viewers {
 		if v.waiting {
 			if !isVideoKey {
 				continue
 			}
+			if v.needSeq {
+				// Drops may have evicted the queued sequence headers; the
+				// stream is undecodable without them, so re-send before
+				// the keyframe that restarts playback.
+				if videoSeq != nil {
+					v.enqueue(outMsg{typeID: rtmp.TypeVideo, payload: videoSeq})
+				}
+				if audioSeq != nil {
+					v.enqueue(outMsg{typeID: rtmp.TypeAudio, payload: audioSeq})
+				}
+				v.needSeq = false
+			}
 			v.waiting = false
 		}
-		switch msg.TypeID {
-		case rtmp.TypeVideo:
-			v.conn.SendVideo(msg.Timestamp, msg.Payload)
-		case rtmp.TypeAudio:
-			v.conn.SendAudio(msg.Timestamp, msg.Payload)
+		if v.enqueue(out) {
+			v.dropped++
+			// A dropped message may have been video (or the sequence
+			// headers), leaving the decoder mid-GOP: hold this viewer
+			// until the next keyframe and refresh its headers there.
+			v.waiting = true
+			v.needSeq = true
+			if v.dropped >= viewerMaxDrops {
+				v.conn.Close() // hopeless consumer: disconnect
+			}
 		}
 	}
 
@@ -357,7 +470,11 @@ func (h *hub) stop() {
 	h.stopped = true
 	close(h.stopCh)
 	seg := h.seg
+	viewers := append([]*viewerState(nil), h.viewers...)
 	h.mu.Unlock()
+	for _, v := range viewers {
+		v.stop()
+	}
 	if seg != nil {
 		seg.Finish(time.Now())
 	}

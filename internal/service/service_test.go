@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -30,21 +31,41 @@ func startService(t *testing.T) *Service {
 }
 
 // pickBroadcast returns a live broadcast with the given popularity class.
+// AccessVideo classifies by ViewersAt (base level scaled by a ramp-up,
+// decay and jitter), so the picks must leave margin: an "unpopular" cast
+// must stay under the threshold for the duration of the test, and a
+// promoted "popular" cast must be past the arrival ramp, not just have a
+// large base level.
 func pickBroadcast(t *testing.T, svc *Service, popular bool) *broadcastmodel.Broadcast {
 	t.Helper()
+	now := svc.Pop.Now()
+	th := svc.cfg.HLSViewerThreshold
+	if !popular {
+		for _, b := range svc.Pop.Live() {
+			// Jitter peaks at 1.15× the base level; stay clear of it.
+			if !b.Private && b.BaseViewers*1.2 < float64(th) {
+				return b
+			}
+		}
+		t.Fatal("no unpopular broadcast found")
+	}
 	for _, b := range svc.Pop.Live() {
-		isPop := b.ViewersAt(svc.Pop.Now()) >= svc.cfg.HLSViewerThreshold
-		if isPop == popular && !b.Private {
+		if !b.Private && b.ViewersAt(now) >= 2*th {
 			return b
 		}
 	}
-	if !popular {
-		t.Fatal("no unpopular broadcast found")
-	}
-	// Popular casts are rare at small scale: promote one artificially.
+	// Popular casts are rare at small scale: promote one artificially,
+	// backdating the start past the viewer-arrival ramp so ViewersAt
+	// agrees with the promotion immediately.
 	for _, b := range svc.Pop.Live() {
 		if !b.Private {
 			b.BaseViewers = 500
+			if age := now.Sub(b.Start); age < 10*time.Minute {
+				b.Start = now.Add(-10 * time.Minute)
+			}
+			if v := b.ViewersAt(now); v < th {
+				t.Fatalf("promoted broadcast still has %d < %d viewers", v, th)
+			}
 			return b
 		}
 	}
@@ -192,11 +213,16 @@ func TestHLSViewingEndToEnd(t *testing.T) {
 	if acc.Protocol != "HLS" {
 		t.Fatalf("protocol = %s", acc.Protocol)
 	}
+	var segMu sync.Mutex
 	var segs []hls.FetchedSegment
 	client := hls.NewClient(hls.ClientConfig{
 		BaseURL:      acc.HLSBaseURL,
 		PollInterval: 200 * time.Millisecond,
-		OnSegment:    func(fs hls.FetchedSegment) { segs = append(segs, fs) },
+		OnSegment: func(fs hls.FetchedSegment) {
+			segMu.Lock()
+			segs = append(segs, fs)
+			segMu.Unlock()
+		},
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 12*time.Second)
 	defer cancel()
@@ -211,7 +237,10 @@ func TestHLSViewingEndToEnd(t *testing.T) {
 	// Wait until a few segments arrived, then stop.
 	for i := 0; i < 120; i++ {
 		time.Sleep(100 * time.Millisecond)
-		if len(segs) >= 3 {
+		segMu.Lock()
+		n := len(segs)
+		segMu.Unlock()
+		if n >= 3 {
 			cancel()
 			break
 		}
