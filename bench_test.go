@@ -9,10 +9,14 @@ package periscope
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -67,6 +71,70 @@ func BenchmarkTable1APICommands(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAPIGateway hammers getBroadcasts with parallel sessions served
+// in-process (no sockets), so what it measures is the gateway itself:
+// middleware chain, rate-limiter table contention, JSON codec. Each
+// goroutine is a distinct session token, i.e. a distinct limiter bucket —
+// with a sharded limiter the parallel throughput scales instead of
+// serializing on one global mutex.
+func BenchmarkAPIGateway(b *testing.B) {
+	pc := broadcastmodel.DefaultConfig()
+	pc.TargetConcurrent = 500
+	pop := broadcastmodel.New(pc, time.Date(2016, 4, 1, 12, 0, 0, 0, time.UTC))
+	scfg := api.DefaultServerConfig()
+	scfg.RateLimit = 1e9 // limiting on, never denies: measure the hot path
+	scfg.Burst = 1e9
+	srv := api.NewServer(pop, nil, scfg)
+
+	var ids []string
+	for _, bc := range pop.Live()[:10] {
+		ids = append(ids, bc.ID)
+	}
+	body, err := json.Marshal(api.GetBroadcastsRequest{BroadcastIDs: ids})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sess atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine request and sink writer, reused across iterations
+		// so the measurement is the gateway's own work, not harness
+		// garbage.
+		session := fmt.Sprintf("bench-sess-%d", sess.Add(1))
+		rd := bytes.NewReader(body)
+		req := httptest.NewRequest(http.MethodPost, "/api/v2/getBroadcasts", io.NopCloser(rd))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(api.SessionHeader, session)
+		w := &sinkResponseWriter{header: http.Header{}}
+		for pb.Next() {
+			rd.Seek(0, io.SeekStart)
+			w.status = 0
+			srv.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+		}
+	})
+}
+
+// sinkResponseWriter discards the response body and records the status.
+type sinkResponseWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *sinkResponseWriter) Header() http.Header { return w.header }
+
+func (w *sinkResponseWriter) WriteHeader(code int) { w.status = code }
+
+func (w *sinkResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(p), nil
 }
 
 // --- helpers shared by figure benches ---

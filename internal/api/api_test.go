@@ -132,7 +132,7 @@ func TestRateLimiting429(t *testing.T) {
 	if !rateLimited {
 		t.Error("burst of 20 requests never hit 429")
 	}
-	if c.RateLimited == 0 {
+	if c.RateLimited() == 0 {
 		t.Error("client did not count 429s")
 	}
 }

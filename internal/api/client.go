@@ -3,48 +3,160 @@ package api
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
 )
 
 // ErrRateLimited is returned when the server answers HTTP 429; the crawler
-// paces itself on it.
-type ErrRateLimited struct{}
+// paces itself on it. RetryAfter carries the server's Retry-After hint
+// (zero when the server sent none).
+type ErrRateLimited struct {
+	RetryAfter time.Duration
+}
 
 func (ErrRateLimited) Error() string { return "api: HTTP 429 Too Many Requests" }
 
-// Client is the app-side API client. Crawlers create one per logged-in
+// RetryPolicy controls the client's 429 handling: exponential backoff with
+// jitter, always at least the server's Retry-After hint. The zero value
+// disables retries (one attempt), which is what virtual-time crawlers
+// want — they pace themselves through the population clock instead of
+// sleeping wall time.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	MaxAttempts int
+	// BaseBackoff doubles per retry up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter adds up to this fraction of the computed backoff (0.25 →
+	// +0-25%), de-synchronizing herds of clients that got limited
+	// together.
+	Jitter float64
+}
+
+// DefaultRetryPolicy suits wire-tier sessions running in real time.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 200 * time.Millisecond, MaxBackoff: 3 * time.Second, Jitter: 0.25}
+}
+
+// backoffFor computes the wait before retry number `retry` (0-based),
+// honouring the server hint. Doubling stops at the cap (or an hour when
+// uncapped) so a deep retry index cannot overflow the duration.
+func (p RetryPolicy) backoffFor(retry int, serverHint time.Duration) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < retry; i++ {
+		if (p.MaxBackoff > 0 && d >= p.MaxBackoff) || d > time.Hour {
+			break
+		}
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if serverHint > d {
+		d = serverHint
+	}
+	if p.Jitter > 0 && d > 0 {
+		d += time.Duration(rand.Float64() * p.Jitter * float64(d))
+	}
+	return d
+}
+
+// defaultTransport reuses connections across all clients of a process:
+// the crawler's four sessions and a bench's dozens of goroutines each
+// keep their sockets warm instead of redialing per request.
+var defaultTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// Client is the app-side API client, built over the same typed endpoint
+// definitions the server mounts. Crawlers create one per logged-in
 // session (distinct session tokens get distinct rate-limit buckets).
 type Client struct {
 	BaseURL string
 	Session string
 	HTTP    *http.Client
-	// Requests counts issued API calls; RateLimited counts 429 responses.
-	Requests    int
-	RateLimited int
+	// Retry enables 429-aware retry with jittered backoff; the zero value
+	// means a single attempt.
+	Retry RetryPolicy
+	// Sleep is the backoff clock, overridable in tests and virtual-time
+	// setups; nil means time.Sleep.
+	Sleep func(time.Duration)
+
+	requests    atomic.Int64
+	rateLimited atomic.Int64
 }
 
 // NewClient creates a client for the API at baseURL with a session token.
+// A nil hc uses a shared keep-alive transport.
 func NewClient(baseURL, session string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = &http.Client{Transport: defaultTransport}
 	}
 	return &Client{BaseURL: baseURL, Session: session, HTTP: hc}
 }
 
-func (c *Client) post(name string, req, resp any) error {
+// WithRetry enables the given retry policy and returns the client.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.Retry = p
+	return c
+}
+
+// Requests counts issued HTTP attempts (retries included).
+func (c *Client) Requests() int { return int(c.requests.Load()) }
+
+// RateLimited counts 429 responses received (retries included).
+func (c *Client) RateLimited() int { return int(c.rateLimited.Load()) }
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Call issues one typed endpoint call: encode → POST → decode, with the
+// client's retry policy applied to 429s. It is the only request path —
+// every typed method goes through it, so client and server agree on
+// paths, types, and the error envelope by construction.
+func Call[Req, Resp any](c *Client, ep Endpoint[Req, Resp], req Req) (Resp, error) {
+	var resp Resp
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.do(ep.Name, req, &resp)
+		var rl ErrRateLimited
+		if !errors.As(err, &rl) || attempt+1 >= attempts {
+			return resp, err
+		}
+		c.sleep(c.Retry.backoffFor(attempt, rl.RetryAfter))
+	}
+}
+
+// do performs one HTTP attempt against the named endpoint.
+func (c *Client) do(name string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/api/v2/"+name, bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+PathPrefix+name, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	httpReq.Header.Set(SessionHeader, c.Session)
-	c.Requests++
+	c.requests.Add(1)
 	httpResp, err := c.HTTP.Do(httpReq)
 	if err != nil {
 		return err
@@ -61,48 +173,55 @@ func (c *Client) post(name string, req, resp any) error {
 		}
 		return json.Unmarshal(data, resp)
 	case http.StatusTooManyRequests:
-		c.RateLimited++
-		return ErrRateLimited{}
+		c.rateLimited.Add(1)
+		return ErrRateLimited{RetryAfter: parseRetryAfter(httpResp.Header.Get("Retry-After"))}
 	default:
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("api: %s: %s (HTTP %d)", name, e.Error, httpResp.StatusCode)
+			code := e.Code
+			if code == "" {
+				code = CodeInternal
+			}
+			return &Error{HTTPStatus: httpResp.StatusCode, Code: code, Message: fmt.Sprintf("%s: %s", name, e.Error)}
 		}
 		return fmt.Errorf("api: %s: HTTP %d", name, httpResp.StatusCode)
 	}
 }
 
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // MapGeoBroadcastFeed queries the broadcasts visible in an area.
 func (c *Client) MapGeoBroadcastFeed(req MapGeoBroadcastFeedRequest) (MapGeoBroadcastFeedResponse, error) {
-	var resp MapGeoBroadcastFeedResponse
-	err := c.post("mapGeoBroadcastFeed", req, &resp)
-	return resp, err
+	return Call(c, MapGeoBroadcastFeedEndpoint, req)
 }
 
 // GetBroadcasts fetches descriptions (with viewer counts) for IDs.
 func (c *Client) GetBroadcasts(ids []string) (GetBroadcastsResponse, error) {
-	var resp GetBroadcastsResponse
-	err := c.post("getBroadcasts", GetBroadcastsRequest{BroadcastIDs: ids}, &resp)
-	return resp, err
+	return Call(c, GetBroadcastsEndpoint, GetBroadcastsRequest{BroadcastIDs: ids})
 }
 
 // PlaybackMeta uploads end-of-session statistics.
 func (c *Client) PlaybackMeta(stats PlaybackMeta) error {
-	return c.post("playbackMeta", PlaybackMetaRequest{Stats: stats}, nil)
+	_, err := Call(c, PlaybackMetaEndpoint, PlaybackMetaRequest{Stats: stats})
+	return err
 }
 
 // AccessVideo resolves the stream endpoint for a broadcast.
 func (c *Client) AccessVideo(id string) (AccessVideoResponse, error) {
-	var resp AccessVideoResponse
-	err := c.post("accessVideo", AccessVideoRequest{BroadcastID: id}, &resp)
-	return resp, err
+	return Call(c, AccessVideoEndpoint, AccessVideoRequest{BroadcastID: id})
 }
 
 // Teleport returns a random live broadcast id.
 func (c *Client) Teleport() (string, error) {
-	var resp TeleportResponse
-	if err := c.post("teleport", struct{}{}, &resp); err != nil {
-		return "", err
-	}
-	return resp.BroadcastID, nil
+	resp, err := Call(c, TeleportEndpoint, TeleportRequest{})
+	return resp.BroadcastID, err
 }

@@ -1,0 +1,115 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"periscope/internal/geo"
+)
+
+// PathPrefix is the API mount point: every Table-1 command is a POST to
+// /api/v2/<apiRequest>.
+const PathPrefix = "/api/v2/"
+
+// Endpoint is the typed definition of one API command: its wire name and
+// the request-shape invariants every caller must satisfy. The server mounts
+// handlers through it (decode → validate → handle → encode) and the client
+// issues calls through it, so paths, request/response types, and
+// validation live in exactly one place.
+type Endpoint[Req, Resp any] struct {
+	// Name is the <apiRequest> path component, e.g. "getBroadcasts".
+	Name string
+	// Validate, if set, checks request invariants that do not depend on
+	// server configuration. It runs on the server after decode; returning
+	// a non-nil *Error short-circuits the handler.
+	Validate func(*Req) *Error
+}
+
+// Path returns the endpoint's URL path.
+func (e Endpoint[Req, Resp]) Path() string { return PathPrefix + e.Name }
+
+// The five §3/Table-1 endpoint definitions — the single source of truth
+// shared by Server (mounting) and Client (calling).
+var (
+	// MapGeoBroadcastFeedEndpoint is the map-exploration query the §4
+	// crawler replays with modified coordinates.
+	MapGeoBroadcastFeedEndpoint = Endpoint[MapGeoBroadcastFeedRequest, MapGeoBroadcastFeedResponse]{
+		Name: "mapGeoBroadcastFeed",
+		Validate: func(r *MapGeoBroadcastFeedRequest) *Error {
+			rect := geo.Rect{South: r.P1Lat, West: r.P1Lng, North: r.P2Lat, East: r.P2Lng}
+			if !rect.Valid() {
+				return Errorf(http.StatusBadRequest, CodeInvalidArea, "invalid area")
+			}
+			return nil
+		},
+	}
+
+	// GetBroadcastsEndpoint fetches descriptions (with viewer counts) for
+	// explicit IDs. The per-request ID cap is server configuration, so it
+	// is enforced in the handler, not here.
+	GetBroadcastsEndpoint = Endpoint[GetBroadcastsRequest, GetBroadcastsResponse]{
+		Name: "getBroadcasts",
+	}
+
+	// PlaybackMetaEndpoint uploads end-of-session QoE statistics.
+	PlaybackMetaEndpoint = Endpoint[PlaybackMetaRequest, PlaybackMetaResponse]{
+		Name: "playbackMeta",
+	}
+
+	// AccessVideoEndpoint resolves a broadcast's stream endpoint.
+	AccessVideoEndpoint = Endpoint[AccessVideoRequest, AccessVideoResponse]{
+		Name: "accessVideo",
+		Validate: func(r *AccessVideoRequest) *Error {
+			if r.BroadcastID == "" {
+				return Errorf(http.StatusBadRequest, CodeBadRequest, "broadcast_id required")
+			}
+			return nil
+		},
+	}
+
+	// TeleportEndpoint returns a random live broadcast id.
+	TeleportEndpoint = Endpoint[TeleportRequest, TeleportResponse]{
+		Name: "teleport",
+	}
+)
+
+// EndpointNames lists the registered command names (Table 1 order); the
+// metrics table is sized from it.
+func EndpointNames() []string {
+	return []string{
+		MapGeoBroadcastFeedEndpoint.Name,
+		GetBroadcastsEndpoint.Name,
+		PlaybackMetaEndpoint.Name,
+		AccessVideoEndpoint.Name,
+		TeleportEndpoint.Name,
+	}
+}
+
+// mount registers a typed handler for an endpoint on the mux. The wrapper
+// owns the whole decode → validate → handle → encode cycle; handlers see
+// only their typed request and return a typed response or a structured
+// error.
+func mount[Req, Resp any](mux *http.ServeMux, ep Endpoint[Req, Resp], fn func(context.Context, *Req) (Resp, *Error)) {
+	mux.Handle(ep.Path(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, Errorf(http.StatusBadRequest, CodeBadRequest, "bad JSON: %v", err))
+			return
+		}
+		if ep.Validate != nil {
+			if e := ep.Validate(&req); e != nil {
+				writeError(w, e)
+				return
+			}
+		}
+		resp, apiErr := fn(r.Context(), &req)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		writeJSON(w, resp)
+	}))
+}

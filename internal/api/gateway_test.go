@@ -1,0 +1,266 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"periscope/internal/broadcastmodel"
+)
+
+// --- structured error envelope ---
+
+func TestStructuredErrorCodes(t *testing.T) {
+	cfg := broadcastmodel.DefaultConfig()
+	cfg.TargetConcurrent = 200
+	pop := broadcastmodel.New(cfg, time.Date(2016, 4, 1, 15, 0, 0, 0, time.UTC))
+	scfg := DefaultServerConfig()
+	scfg.RateLimit = 0
+	scfg.MaxBroadcastIDs = 5
+	srv := NewServer(pop, stubVideo{}, scfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL, "sess", nil)
+
+	// Invalid area → invalid_area from the endpoint's Validate.
+	_, err := c.MapGeoBroadcastFeed(MapGeoBroadcastFeedRequest{P1Lat: 50, P1Lng: 0, P2Lat: 10, P2Lng: 10})
+	assertCode(t, err, CodeInvalidArea, http.StatusBadRequest)
+
+	// Unbounded ID list → too_many_ids from the handler's config cap.
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = "id" + strconv.Itoa(i)
+	}
+	_, err = c.GetBroadcasts(ids)
+	assertCode(t, err, CodeTooManyIDs, http.StatusBadRequest)
+
+	// A capped list of unknown IDs is fine (skipped, not an error).
+	if _, err := c.GetBroadcasts(ids[:5]); err != nil {
+		t.Errorf("5 ids within cap: %v", err)
+	}
+
+	// Missing broadcast → not_found.
+	_, err = c.AccessVideo("missing")
+	assertCode(t, err, CodeNotFound, http.StatusNotFound)
+
+	// Empty broadcast_id → bad_request from the endpoint's Validate.
+	_, err = c.AccessVideo("")
+	assertCode(t, err, CodeBadRequest, http.StatusBadRequest)
+
+	// Malformed JSON body → bad_request from the decode layer.
+	resp, err := hs.Client().Post(hs.URL+"/api/v2/teleport", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+}
+
+func assertCode(t *testing.T, err error, code string, status int) {
+	t.Helper()
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Errorf("want *Error with code %s, got %v", code, err)
+		return
+	}
+	if apiErr.Code != code || apiErr.HTTPStatus != status {
+		t.Errorf("got code=%s status=%d, want %s/%d", apiErr.Code, apiErr.HTTPStatus, code, status)
+	}
+}
+
+// --- 429 end-to-end: Retry-After emitted, client backs off and succeeds ---
+
+func TestRateLimit429EndToEnd(t *testing.T) {
+	cfg := broadcastmodel.DefaultConfig()
+	cfg.TargetConcurrent = 200
+	pop := broadcastmodel.New(cfg, time.Date(2016, 4, 1, 15, 0, 0, 0, time.UTC))
+	scfg := DefaultServerConfig()
+	scfg.RateLimit = 1
+	scfg.Burst = 2
+	srv := NewServer(pop, nil, scfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+
+	// First verify the raw 429 carries the Retry-After header.
+	raw := NewClient(hs.URL, "raw-sess", nil)
+	var sawRetryAfter time.Duration
+	for i := 0; i < 10; i++ {
+		_, err := raw.Teleport()
+		var rl ErrRateLimited
+		if errors.As(err, &rl) {
+			sawRetryAfter = rl.RetryAfter
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sawRetryAfter <= 0 {
+		t.Fatal("429 did not carry a positive Retry-After")
+	}
+
+	// Now a retrying client: its Sleep hook advances the population's
+	// virtual clock (the limiter's clock), so each backoff refills the
+	// bucket and every call must eventually succeed within the attempt
+	// budget.
+	c := NewClient(hs.URL, "retry-sess", nil).WithRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		Jitter:      0.2,
+	})
+	var slept []time.Duration
+	c.Sleep = func(d time.Duration) {
+		slept = append(slept, d)
+		pop.Advance(d)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Teleport(); err != nil {
+			t.Fatalf("call %d failed despite retry budget: %v", i, err)
+		}
+	}
+	if c.RateLimited() == 0 {
+		t.Error("client never saw a 429 — limiter not exercised")
+	}
+	if len(slept) == 0 {
+		t.Fatal("client never backed off")
+	}
+	// Backoff must honour the server hint: with rate 1/s the hint is 1s,
+	// so every sleep after a 429 must be at least that.
+	for i, d := range slept {
+		if d < time.Second {
+			t.Errorf("sleep %d = %v, shorter than the 1s Retry-After hint", i, d)
+		}
+	}
+	if got := srv.Metrics().RateLimited; got == 0 {
+		t.Error("server metrics did not count 429s")
+	}
+}
+
+// --- middleware ordering ---
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	probe := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		order = append(order, "handler")
+	}), probe("outer"), probe("middle"), probe("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/x", nil))
+	want := []string{"outer", "middle", "inner", "handler"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+type panicVideo struct{ calls atomic.Int64 }
+
+func (p *panicVideo) AccessVideo(id string) (AccessVideoResponse, error) {
+	p.calls.Add(1)
+	panic("video plane exploded")
+}
+
+// TestRecoveryOutermost asserts a handler panic is converted into the
+// structured 500 envelope and the server keeps serving.
+func TestRecoveryOutermost(t *testing.T) {
+	cfg := broadcastmodel.DefaultConfig()
+	cfg.TargetConcurrent = 200
+	pop := broadcastmodel.New(cfg, time.Date(2016, 4, 1, 15, 0, 0, 0, time.UTC))
+	scfg := DefaultServerConfig()
+	scfg.RateLimit = 0
+	srv := NewServer(pop, &panicVideo{}, scfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL, "sess", nil)
+
+	_, err := c.AccessVideo("boom")
+	assertCode(t, err, CodeInternal, http.StatusInternalServerError)
+	if got := srv.Metrics().Panics; got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+	// The gateway survived the panic.
+	if _, err := c.Teleport(); err != nil {
+		t.Errorf("server dead after panic: %v", err)
+	}
+}
+
+type countingVideo struct{ calls atomic.Int64 }
+
+func (v *countingVideo) AccessVideo(id string) (AccessVideoResponse, error) {
+	v.calls.Add(1)
+	return AccessVideoResponse{Protocol: "RTMP", StreamName: id}, nil
+}
+
+// TestRateLimitBeforeHandler asserts a 429 is decided before the handler
+// runs: a limited request must not reach the video provider.
+func TestRateLimitBeforeHandler(t *testing.T) {
+	cfg := broadcastmodel.DefaultConfig()
+	cfg.TargetConcurrent = 200
+	pop := broadcastmodel.New(cfg, time.Date(2016, 4, 1, 15, 0, 0, 0, time.UTC))
+	video := &countingVideo{}
+	scfg := DefaultServerConfig()
+	scfg.RateLimit = 0.001 // effectively no refill within the test
+	scfg.Burst = 1
+	srv := NewServer(pop, video, scfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL, "sess", nil)
+
+	if _, err := c.AccessVideo("someid"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.AccessVideo("someid")
+	var rl ErrRateLimited
+	if !errors.As(err, &rl) {
+		t.Fatalf("second call: want ErrRateLimited, got %v", err)
+	}
+	if got := video.calls.Load(); got != 1 {
+		t.Errorf("handler ran %d times; the rate-limited request reached it", got)
+	}
+}
+
+// --- metrics ---
+
+func TestMetricsPerEndpoint(t *testing.T) {
+	cfg := broadcastmodel.DefaultConfig()
+	cfg.TargetConcurrent = 200
+	pop := broadcastmodel.New(cfg, time.Date(2016, 4, 1, 15, 0, 0, 0, time.UTC))
+	scfg := DefaultServerConfig()
+	scfg.RateLimit = 0
+	srv := NewServer(pop, stubVideo{}, scfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL, "sess", nil)
+
+	c.Teleport()
+	c.Teleport()
+	c.AccessVideo("missing") // 404 → error counted
+	m := srv.Metrics()
+	if m.PerEndpoint["teleport"].Requests != 2 {
+		t.Errorf("teleport requests = %d, want 2", m.PerEndpoint["teleport"].Requests)
+	}
+	if m.PerEndpoint["accessVideo"].Errors != 1 {
+		t.Errorf("accessVideo errors = %d, want 1", m.PerEndpoint["accessVideo"].Errors)
+	}
+	if m.Requests != 3 {
+		t.Errorf("total requests = %d, want 3", m.Requests)
+	}
+}

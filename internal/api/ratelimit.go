@@ -2,18 +2,37 @@ package api
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // RateLimiter is a non-blocking per-key token bucket: each API session
 // (logged-in user) gets its own allowance, which is why the crawler ran
 // four emulators "with different user logged in (avoids rate limiting)".
+//
+// The bucket table is sharded: a key hashes to one of N shards, each with
+// its own mutex and map, so concurrent sessions only contend when they
+// land on the same shard — the limiter no longer serializes all API
+// traffic through one global lock. Buckets idle longer than IdleTTL are
+// evicted by an amortized per-shard sweep piggybacked on Take, so the
+// table stays bounded over long campaigns without a background goroutine
+// (which would not see virtual-time clocks anyway).
 type RateLimiter struct {
-	mu      sync.Mutex
-	rate    float64 // requests per second
-	burst   float64
-	buckets map[string]*rlBucket
-	nowFn   func() time.Time
+	rate  float64 // requests per second
+	burst float64
+	ttl   time.Duration
+	mask  uint32
+	nowFn atomic.Pointer[func() time.Time]
+
+	shards []rlShard
+}
+
+type rlShard struct {
+	mu        sync.Mutex
+	buckets   map[string]*rlBucket
+	lastSweep time.Time
+	// Pad shards apart so neighbouring locks do not share a cache line.
+	_ [64]byte
 }
 
 type rlBucket struct {
@@ -21,36 +40,146 @@ type rlBucket struct {
 	lastFill time.Time
 }
 
-// NewRateLimiter creates a limiter with the given sustained rate and burst.
-func NewRateLimiter(rate, burst float64) *RateLimiter {
-	return &RateLimiter{rate: rate, burst: burst, buckets: map[string]*rlBucket{}, nowFn: time.Now}
+// RateLimiterConfig tunes the sharded limiter.
+type RateLimiterConfig struct {
+	// Rate is the sustained per-key request rate (req/s); Burst the bucket
+	// depth.
+	Rate  float64
+	Burst float64
+	// Shards is the bucket-table shard count (rounded up to a power of
+	// two). Default 32.
+	Shards int
+	// IdleTTL evicts buckets idle this long. <= 0 means the default of
+	// five minutes; eviction cannot be disabled because the table would
+	// grow with every session ever seen.
+	IdleTTL time.Duration
 }
 
-// SetNowFunc overrides the clock (virtual-time tests).
-func (rl *RateLimiter) SetNowFunc(f func() time.Time) {
-	rl.mu.Lock()
-	defer rl.mu.Unlock()
-	rl.nowFn = f
+// NewRateLimiter creates a limiter with the given sustained rate and burst
+// and default sharding/eviction.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	return NewShardedRateLimiter(RateLimiterConfig{Rate: rate, Burst: burst})
+}
+
+// NewShardedRateLimiter creates a limiter from an explicit config.
+func NewShardedRateLimiter(cfg RateLimiterConfig) *RateLimiter {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 32
+	}
+	// Round up to a power of two for mask-based shard selection.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	ttl := cfg.IdleTTL
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	rl := &RateLimiter{
+		rate:   cfg.Rate,
+		burst:  cfg.Burst,
+		ttl:    ttl,
+		mask:   uint32(p - 1),
+		shards: make([]rlShard, p),
+	}
+	for i := range rl.shards {
+		rl.shards[i].buckets = map[string]*rlBucket{}
+	}
+	now := time.Now
+	rl.nowFn.Store(&now)
+	return rl
+}
+
+// SetNowFunc overrides the clock (virtual-time tests and the population's
+// simulated clock). Safe to call concurrently with Take.
+func (rl *RateLimiter) SetNowFunc(f func() time.Time) { rl.nowFn.Store(&f) }
+
+func (rl *RateLimiter) now() time.Time { return (*rl.nowFn.Load())() }
+
+func hashKey(key string) uint32 {
+	h := uint32(2166136261) // FNV-1a
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
 }
 
 // Allow reports whether the key may issue one more request now.
 func (rl *RateLimiter) Allow(key string) bool {
-	rl.mu.Lock()
-	defer rl.mu.Unlock()
-	now := rl.nowFn()
-	b, ok := rl.buckets[key]
+	ok, _ := rl.Take(key)
+	return ok
+}
+
+// Take attempts to consume one token for key. When denied it also returns
+// how long the caller must wait for the next token — the Retry-After
+// value the 429 response carries.
+func (rl *RateLimiter) Take(key string) (bool, time.Duration) {
+	now := rl.now()
+	sh := &rl.shards[hashKey(key)&rl.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.buckets[key]
 	if !ok {
 		b = &rlBucket{tokens: rl.burst, lastFill: now}
-		rl.buckets[key] = b
+		sh.buckets[key] = b
 	}
-	b.tokens += rl.rate * now.Sub(b.lastFill).Seconds()
-	if b.tokens > rl.burst {
-		b.tokens = rl.burst
+	if dt := now.Sub(b.lastFill); dt > 0 {
+		b.tokens += rl.rate * dt.Seconds()
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
 	}
 	b.lastFill = now
+	if sh.lastSweep.IsZero() {
+		sh.lastSweep = now
+	} else if now.Sub(sh.lastSweep) >= rl.ttl {
+		sh.sweep(now, rl.ttl)
+	}
 	if b.tokens >= 1 {
 		b.tokens--
-		return true
+		return true, 0
 	}
-	return false
+	if rl.rate <= 0 {
+		return false, rl.ttl
+	}
+	return false, time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+}
+
+// sweep drops the shard's idle buckets; the caller holds sh.mu.
+func (sh *rlShard) sweep(now time.Time, ttl time.Duration) {
+	for k, b := range sh.buckets {
+		if now.Sub(b.lastFill) >= ttl {
+			delete(sh.buckets, k)
+		}
+	}
+	sh.lastSweep = now
+}
+
+// EvictIdle forces a sweep of every shard and returns how many buckets
+// remain. Tests use it for deterministic eviction; production relies on
+// the amortized per-shard sweeps.
+func (rl *RateLimiter) EvictIdle() int {
+	now := rl.now()
+	n := 0
+	for i := range rl.shards {
+		sh := &rl.shards[i]
+		sh.mu.Lock()
+		sh.sweep(now, rl.ttl)
+		n += len(sh.buckets)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the current bucket count across all shards.
+func (rl *RateLimiter) Len() int {
+	n := 0
+	for i := range rl.shards {
+		sh := &rl.shards[i]
+		sh.mu.Lock()
+		n += len(sh.buckets)
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -1,10 +1,9 @@
 package api
 
 import (
-	"encoding/json"
+	"context"
 	"math/rand"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -22,36 +21,60 @@ type VideoAccessProvider interface {
 	AccessVideo(broadcastID string) (AccessVideoResponse, error)
 }
 
-// ServerConfig tunes the API endpoint.
+// ServerConfig tunes the API gateway.
 type ServerConfig struct {
 	// RateLimit is the sustained per-session request rate; Burst the
 	// bucket depth. Zero rate disables limiting.
 	RateLimit float64
 	Burst     float64
+	// RateLimitShards is the limiter's bucket-table shard count
+	// (default 32).
+	RateLimitShards int
+	// RateLimitIdleTTL evicts per-session buckets idle this long
+	// (default 5 minutes).
+	RateLimitIdleTTL time.Duration
 	// MapVisibleCap bounds how many broadcasts one mapGeoBroadcastFeed
 	// response reveals — the reason zooming in uncovers more broadcasts
 	// and the deep crawl must recurse.
 	MapVisibleCap int
+	// MaxBroadcastIDs caps the ids accepted per getBroadcasts request
+	// (default 100); larger lists get a too_many_ids error.
+	MaxBroadcastIDs int
+	// RequestTimeout bounds each request's context deadline (default 10s).
+	RequestTimeout time.Duration
 	// Seed drives the teleport randomness.
 	Seed int64
 }
 
 // DefaultServerConfig mirrors observed service behaviour.
 func DefaultServerConfig() ServerConfig {
-	return ServerConfig{RateLimit: 2, Burst: 6, MapVisibleCap: 50, Seed: 1}
+	return ServerConfig{
+		RateLimit:        2,
+		Burst:            6,
+		RateLimitShards:  32,
+		RateLimitIdleTTL: 5 * time.Minute,
+		MapVisibleCap:    50,
+		MaxBroadcastIDs:  100,
+		RequestTimeout:   10 * time.Second,
+		Seed:             1,
+	}
 }
 
-// Server is the Periscope-style API server.
+// Server is the Periscope-style API gateway: the five Table-1 endpoints
+// mounted through the typed registry, wrapped by the middleware chain
+// (recovery, method check, request deadline, session keying, rate
+// limiting, metrics).
 type Server struct {
-	Pop    *broadcastmodel.Population
-	Video  VideoAccessProvider
-	cfg    ServerConfig
-	limit  *RateLimiter
-	mux    *http.ServeMux
-	rngMu  sync.Mutex
-	rng    *rand.Rand
-	metaMu sync.Mutex
-	metas  []PlaybackMeta
+	Pop     *broadcastmodel.Population
+	Video   VideoAccessProvider
+	cfg     ServerConfig
+	limiter *RateLimiter
+	metrics *Metrics
+	handler http.Handler
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	metaMu  sync.Mutex
+	metas   []PlaybackMeta
 }
 
 // NewServer wires the API over a population. video may be nil (accessVideo
@@ -61,68 +84,67 @@ func NewServer(pop *broadcastmodel.Population, video VideoAccessProvider, cfg Se
 	if cfg.MapVisibleCap <= 0 {
 		cfg.MapVisibleCap = 50
 	}
+	if cfg.MaxBroadcastIDs <= 0 {
+		cfg.MaxBroadcastIDs = 100
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
 	s := &Server{
-		Pop:   pop,
-		Video: video,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		Pop:     pop,
+		Video:   video,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		metrics: newMetrics(EndpointNames()),
 	}
 	if cfg.RateLimit > 0 {
-		s.limit = NewRateLimiter(cfg.RateLimit, cfg.Burst)
-		s.limit.SetNowFunc(func() time.Time { return pop.Now() })
+		s.limiter = NewShardedRateLimiter(RateLimiterConfig{
+			Rate:    cfg.RateLimit,
+			Burst:   cfg.Burst,
+			Shards:  cfg.RateLimitShards,
+			IdleTTL: cfg.RateLimitIdleTTL,
+		})
+		s.limiter.SetNowFunc(func() time.Time { return pop.Now() })
 	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/v2/mapGeoBroadcastFeed", s.handleMapGeo)
-	mux.HandleFunc("/api/v2/getBroadcasts", s.handleGetBroadcasts)
-	mux.HandleFunc("/api/v2/playbackMeta", s.handlePlaybackMeta)
-	mux.HandleFunc("/api/v2/accessVideo", s.handleAccessVideo)
-	mux.HandleFunc("/api/v2/teleport", s.handleTeleport)
-	s.mux = mux
+	mount(mux, MapGeoBroadcastFeedEndpoint, s.mapGeo)
+	mount(mux, GetBroadcastsEndpoint, s.getBroadcasts)
+	mount(mux, PlaybackMetaEndpoint, s.playbackMeta)
+	mount(mux, AccessVideoEndpoint, s.accessVideo)
+	mount(mux, TeleportEndpoint, s.teleport)
+
+	s.handler = Chain(mux,
+		Recovery(func(any) { s.metrics.Panics.Add(1) }),
+		RequirePOST(),
+		RequestContext(cfg.RequestTimeout),
+		SessionAuth(),
+		RateLimit(s.limiter, s.metrics),
+		CollectMetrics(s.metrics),
+	)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSONError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	if s.limit != nil && strings.HasPrefix(r.URL.Path, "/api/v2/") {
-		key := r.Header.Get(SessionHeader)
-		if key == "" {
-			key = r.RemoteAddr
-		}
-		if !s.limit.Allow(key) {
-			writeJSONError(w, http.StatusTooManyRequests, "Too many requests")
-			return
-		}
-	}
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
-func writeJSONError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
-}
+// Metrics returns a snapshot of the gateway counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
+// Limiter exposes the rate limiter (nil when limiting is disabled) so the
+// service layer and tests can inspect the bucket table.
+func (s *Server) Limiter() *RateLimiter { return s.limiter }
 
-func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
-	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return false
-	}
-	return true
-}
-
-func (s *Server) desc(b *broadcastmodel.Broadcast, withViewers bool) BroadcastDesc {
+// desc renders a broadcast description. A non-zero viewersNow samples the
+// audience size at that instant; callers hoist Pop.Now() out of their
+// loops so a batch request takes the population clock lock once, not once
+// per id.
+func (s *Server) desc(b *broadcastmodel.Broadcast, viewersNow time.Time) BroadcastDesc {
 	d := BroadcastDesc{
 		ID:                 b.ID,
-		CreatedAt:          b.Start.UTC().Format(time.RFC3339Nano),
+		CreatedAt:          b.StartRFC3339(),
 		State:              "RUNNING",
 		LocationDisclosed:  b.LocationDisclosed,
 		AvailableForReplay: b.AvailableForReplay,
@@ -132,31 +154,23 @@ func (s *Server) desc(b *broadcastmodel.Broadcast, withViewers bool) BroadcastDe
 		d.Latitude = b.Location.Lat
 		d.Longitude = b.Location.Lon
 	}
-	if withViewers {
-		d.NumWatching = b.ViewersAt(s.Pop.Now())
+	if !viewersNow.IsZero() {
+		d.NumWatching = b.ViewersAt(viewersNow)
 	}
 	return d
 }
 
-func (s *Server) handleMapGeo(w http.ResponseWriter, r *http.Request) {
-	var req MapGeoBroadcastFeedRequest
-	if !decode(w, r, &req) {
-		return
-	}
+func (s *Server) mapGeo(_ context.Context, req *MapGeoBroadcastFeedRequest) (MapGeoBroadcastFeedResponse, *Error) {
 	rect := geo.Rect{South: req.P1Lat, West: req.P1Lng, North: req.P2Lat, East: req.P2Lng}
-	if !rect.Valid() {
-		writeJSONError(w, http.StatusBadRequest, "invalid area")
-		return
-	}
 	// The map reveals only the top-ranked broadcasts per query; zooming
 	// into a smaller area (fewer broadcasts inside) uncovers the rest.
 	in := s.Pop.InArea(rect)
 	if len(in) > s.cfg.MapVisibleCap {
 		in = in[:s.cfg.MapVisibleCap]
 	}
-	resp := MapGeoBroadcastFeedResponse{}
+	resp := MapGeoBroadcastFeedResponse{Broadcasts: make([]BroadcastDesc, 0, len(in))}
 	for _, b := range in {
-		resp.Broadcasts = append(resp.Broadcasts, s.desc(b, false))
+		resp.Broadcasts = append(resp.Broadcasts, s.desc(b, time.Time{}))
 	}
 	// The crawler sets include_replay=false "to only discover live
 	// broadcasts"; the app's default query also surfaces replays.
@@ -167,37 +181,34 @@ func (s *Server) handleMapGeo(w http.ResponseWriter, r *http.Request) {
 			if i >= budget {
 				break
 			}
-			d := s.desc(b, false)
+			d := s.desc(b, time.Time{})
 			d.State = "ENDED"
 			resp.Broadcasts = append(resp.Broadcasts, d)
 		}
 	}
-	writeJSON(w, resp)
+	return resp, nil
 }
 
-func (s *Server) handleGetBroadcasts(w http.ResponseWriter, r *http.Request) {
-	var req GetBroadcastsRequest
-	if !decode(w, r, &req) {
-		return
+func (s *Server) getBroadcasts(_ context.Context, req *GetBroadcastsRequest) (GetBroadcastsResponse, *Error) {
+	if len(req.BroadcastIDs) > s.cfg.MaxBroadcastIDs {
+		return GetBroadcastsResponse{}, Errorf(http.StatusBadRequest, CodeTooManyIDs,
+			"too many broadcast_ids: %d > %d", len(req.BroadcastIDs), s.cfg.MaxBroadcastIDs)
 	}
-	resp := GetBroadcastsResponse{}
+	resp := GetBroadcastsResponse{Broadcasts: make([]BroadcastDesc, 0, len(req.BroadcastIDs))}
+	now := s.Pop.Now()
 	for _, id := range req.BroadcastIDs {
 		if b, ok := s.Pop.Get(id); ok {
-			resp.Broadcasts = append(resp.Broadcasts, s.desc(b, true))
+			resp.Broadcasts = append(resp.Broadcasts, s.desc(b, now))
 		}
 	}
-	writeJSON(w, resp)
+	return resp, nil
 }
 
-func (s *Server) handlePlaybackMeta(w http.ResponseWriter, r *http.Request) {
-	var req PlaybackMetaRequest
-	if !decode(w, r, &req) {
-		return
-	}
+func (s *Server) playbackMeta(_ context.Context, req *PlaybackMetaRequest) (PlaybackMetaResponse, *Error) {
 	s.metaMu.Lock()
 	s.metas = append(s.metas, req.Stats)
 	s.metaMu.Unlock()
-	writeJSON(w, struct{}{})
+	return PlaybackMetaResponse{}, nil
 }
 
 // PlaybackMetas returns all statistics uploads received so far.
@@ -207,30 +218,23 @@ func (s *Server) PlaybackMetas() []PlaybackMeta {
 	return append([]PlaybackMeta(nil), s.metas...)
 }
 
-func (s *Server) handleAccessVideo(w http.ResponseWriter, r *http.Request) {
-	var req AccessVideoRequest
-	if !decode(w, r, &req) {
-		return
-	}
+func (s *Server) accessVideo(_ context.Context, req *AccessVideoRequest) (AccessVideoResponse, *Error) {
 	if s.Video == nil {
-		writeJSONError(w, http.StatusServiceUnavailable, "video plane not running")
-		return
+		return AccessVideoResponse{}, Errorf(http.StatusServiceUnavailable, CodeUnavailable, "video plane not running")
 	}
 	resp, err := s.Video.AccessVideo(req.BroadcastID)
 	if err != nil {
-		writeJSONError(w, http.StatusNotFound, err.Error())
-		return
+		return AccessVideoResponse{}, Errorf(http.StatusNotFound, CodeNotFound, "%s", err.Error())
 	}
-	writeJSON(w, resp)
+	return resp, nil
 }
 
-func (s *Server) handleTeleport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) teleport(_ context.Context, _ *TeleportRequest) (TeleportResponse, *Error) {
 	s.rngMu.Lock()
 	b := s.Pop.Teleport(s.rng)
 	s.rngMu.Unlock()
 	if b == nil {
-		writeJSONError(w, http.StatusNotFound, "no live broadcasts")
-		return
+		return TeleportResponse{}, Errorf(http.StatusNotFound, CodeNotFound, "no live broadcasts")
 	}
-	writeJSON(w, TeleportResponse{BroadcastID: b.ID})
+	return TeleportResponse{BroadcastID: b.ID}, nil
 }

@@ -1,13 +1,36 @@
-// Package api implements the Periscope-style private JSON API of §3,
-// Table 1: POST requests with JSON-encoded attributes to
-// /api/v2/<apiRequest>. The commands the study relied on are implemented
-// faithfully — mapGeoBroadcastFeed (map exploration with partial
-// visibility), getBroadcasts (descriptions including viewer counts) and
-// playbackMeta (end-of-session QoE statistics) — plus the supporting
-// commands the app itself needs (accessVideo for stream URLs and teleport
-// for random-broadcast discovery). Server-side rate limiting answers
-// over-eager clients with HTTP 429 ("Too many requests"), which is what
-// forced the crawler design of §4.
+// Package api is the typed endpoint gateway for the Periscope-style
+// private JSON API of §3, Table 1: POST requests with JSON-encoded
+// attributes to /api/v2/<apiRequest>.
+//
+// Every command is described once by a generic Endpoint[Req, Resp]
+// definition (endpoint.go) that names the path, request/response types,
+// and request-shape validation. The Server mounts handlers through these
+// definitions — the endpoint layer owns decode → validate → handle →
+// encode, so handlers are small typed functions — and the Client issues
+// calls through the very same definitions, making the wire contract a
+// single source of truth.
+//
+// Around the endpoints sits a composable middleware chain (middleware.go),
+// applied outermost-first: panic recovery, POST-method enforcement,
+// per-request context deadline, per-session auth keying, rate limiting,
+// and metrics. Rate limiting is a sharded token-bucket table
+// (ratelimit.go): keys hash to independent shards so concurrent sessions
+// do not serialize on one lock, and idle buckets are evicted so the table
+// stays bounded across long campaigns. Over-eager clients get the
+// structured 429 envelope with a Retry-After hint — the behaviour that
+// forced the crawler design of §4 — and the Client can retry with
+// jittered backoff honouring that hint (RetryPolicy).
+//
+// Errors travel as a structured envelope (errors.go) with a stable code
+// ("rate_limited", "too_many_ids", …) and message, decoded back into
+// *Error on the client side.
+//
+// The commands the study relied on are implemented faithfully —
+// mapGeoBroadcastFeed (map exploration with partial visibility),
+// getBroadcasts (descriptions including viewer counts) and playbackMeta
+// (end-of-session QoE statistics) — plus the supporting commands the app
+// itself needs (accessVideo for stream URLs and teleport for
+// random-broadcast discovery).
 package api
 
 import "time"
@@ -77,6 +100,9 @@ type PlaybackMetaRequest struct {
 	Stats PlaybackMeta `json:"stats"`
 }
 
+// PlaybackMetaResponse is the (empty) acknowledgement.
+type PlaybackMetaResponse struct{}
+
 // AccessVideoRequest asks where to fetch the stream for a broadcast.
 type AccessVideoRequest struct {
 	BroadcastID string `json:"broadcast_id"`
@@ -96,13 +122,19 @@ type AccessVideoResponse struct {
 	NumWatching int `json:"n_watching"`
 }
 
-// TeleportResponse returns a random live broadcast id (the Teleport
-// button).
+// TeleportRequest asks for a random live broadcast (the Teleport button);
+// it carries no attributes.
+type TeleportRequest struct{}
+
+// TeleportResponse returns a random live broadcast id.
 type TeleportResponse struct {
 	BroadcastID string `json:"broadcast_id"`
 }
 
-// ErrorResponse is the JSON error envelope.
+// ErrorResponse is the JSON error envelope: a stable machine-readable
+// code plus the human-readable message (kept in the legacy "error" field
+// for compatibility with §3-era clients).
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

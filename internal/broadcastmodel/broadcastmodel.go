@@ -50,6 +50,20 @@ type Broadcast struct {
 	MapRank float64
 	// Seed derives per-broadcast media properties deterministically.
 	Seed int64
+
+	// startRFC3339 caches the RFC3339Nano rendering of Start. The API
+	// serves it in every description, and formatting dominated the
+	// getBroadcasts allocation profile before caching.
+	startRFC3339 string
+}
+
+// StartRFC3339 returns Start formatted as RFC3339Nano (UTC), cached when
+// the broadcast was spawned by a Population.
+func (b *Broadcast) StartRFC3339() string {
+	if b.startRFC3339 == "" {
+		return b.Start.UTC().Format(time.RFC3339Nano)
+	}
+	return b.startRFC3339
 }
 
 // Duration returns the scheduled duration.
@@ -220,6 +234,7 @@ func (p *Population) spawn(t time.Time) *Broadcast {
 		BaseViewers:       base,
 		MapRank:           p.rng.Float64(),
 		Seed:              p.rng.Int63(),
+		startRFC3339:      t.UTC().Format(time.RFC3339Nano),
 	}
 	// Replay availability: >80% of zero-viewer casts are unavailable;
 	// watched casts are kept more often.

@@ -175,10 +175,17 @@ func queryArea(client *api.Client, area geo.Rect, cfg DeepConfig, pace Pacer, re
 		if err == nil {
 			return resp, nil
 		}
-		if errors.As(err, &api.ErrRateLimited{}) {
+		var rl api.ErrRateLimited
+		if errors.As(err, &rl) {
 			res.RateLimited++
 			if pace != nil {
-				pace(cfg.BackoffOn429)
+				// Wait at least the server's Retry-After hint so the
+				// token bucket has actually refilled when we come back.
+				wait := cfg.BackoffOn429
+				if rl.RetryAfter > wait {
+					wait = rl.RetryAfter
+				}
+				pace(wait)
 			}
 			continue
 		}

@@ -136,8 +136,12 @@ func TargetedCrawl(clients []*api.Client, cfg TargetedConfig, now func() time.Ti
 					P2Lat: area.North, P2Lng: area.East,
 				})
 				if err != nil {
-					if errors.As(err, &api.ErrRateLimited{}) {
+					var rl api.ErrRateLimited
+					if errors.As(err, &rl) {
 						res.RateLimited++
+						if rl.RetryAfter > cfg.Pace {
+							pace(rl.RetryAfter - cfg.Pace)
+						}
 						continue
 					}
 					return res, err
@@ -157,23 +161,37 @@ func TargetedCrawl(clients []*api.Client, cfg TargetedConfig, now func() time.Ti
 		}
 		// Harvest viewer counts for the broadcasts found this round (the
 		// inline script swapped the ids into /getBroadcasts requests).
+		batchRetries := 0
 		for len(newIDs) > 0 {
 			n := cfg.ViewerBatch
 			if n > len(newIDs) {
 				n = len(newIDs)
 			}
 			batch := newIDs[:n]
-			newIDs = newIDs[n:]
 			pace(cfg.Pace)
 			res.Requests++
 			resp, err := clients[0].GetBroadcasts(batch)
 			if err != nil {
-				if errors.As(err, &api.ErrRateLimited{}) {
+				var rl api.ErrRateLimited
+				if errors.As(err, &rl) {
 					res.RateLimited++
+					if rl.RetryAfter > cfg.Pace {
+						pace(rl.RetryAfter - cfg.Pace)
+					}
+					// Retry the same batch after the backoff — ids are
+					// only consumed on success — but give up on it after
+					// persistent limiting so the crawl keeps moving.
+					batchRetries++
+					if batchRetries >= 8 {
+						newIDs = newIDs[n:]
+						batchRetries = 0
+					}
 					continue
 				}
 				return res, err
 			}
+			newIDs = newIDs[n:]
+			batchRetries = 0
 			for _, d := range resp.Broadcasts {
 				if rec, ok := res.Records[d.ID]; ok {
 					rec.ViewerSamples = append(rec.ViewerSamples, d.NumWatching)

@@ -126,13 +126,13 @@ func Start(cfg Config) (*Service, error) {
 	s.chatHTTP = &http.Server{Handler: s.Chat}
 	go s.chatHTTP.Serve(chatLn)
 
-	// API server.
-	s.API = api.NewServer(s.Pop, s, api.ServerConfig{
-		RateLimit:     cfg.APIRateLimit,
-		Burst:         cfg.APIBurst,
-		MapVisibleCap: 50,
-		Seed:          cfg.Seed,
-	})
+	// API gateway: defaults for the typed-endpoint chain (sharded
+	// limiter, ID cap, request deadline) with the service's rate policy.
+	scfg := api.DefaultServerConfig()
+	scfg.RateLimit = cfg.APIRateLimit
+	scfg.Burst = cfg.APIBurst
+	scfg.Seed = cfg.Seed
+	s.API = api.NewServer(s.Pop, s, scfg)
 	apiLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		s.Close()

@@ -40,7 +40,10 @@ func WatchOnce(cfg WireConfig) (Record, error) {
 		cfg.WatchFor = 60 * time.Second
 	}
 	httpClient := netHTTPClient(cfg.Shaper)
-	apiCli := api.NewClient(cfg.APIBaseURL, cfg.Session, httpClient)
+	// Wire sessions run in real time, so the client's 429-aware retry
+	// (jittered backoff honouring Retry-After) rides out the rate limiter
+	// instead of failing the session.
+	apiCli := api.NewClient(cfg.APIBaseURL, cfg.Session, httpClient).WithRetry(api.DefaultRetryPolicy())
 
 	id, err := apiCli.Teleport()
 	if err != nil {

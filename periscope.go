@@ -92,6 +92,9 @@ func DefaultUsageStudyConfig() UsageStudyConfig {
 type UsageStudyResult struct {
 	DeepCrawls []*crawler.DeepResult
 	Targeted   *crawler.TargetedResult
+	// APIMetrics is the gateway's view of the whole campaign: per-endpoint
+	// request counts and how often the crawler tripped the rate limiter.
+	APIMetrics api.MetricsSnapshot
 	// Figures: 1(a), 1(b), 2(a), 2(b).
 	Figure1a, Figure1b, Figure2a, Figure2b Figure
 }
@@ -146,6 +149,7 @@ func RunUsageStudy(cfg UsageStudyConfig) (*UsageStudyResult, error) {
 		return nil, fmt.Errorf("targeted crawl: %w", err)
 	}
 	res.Targeted = tres
+	res.APIMetrics = srv.Metrics()
 
 	completed := tres.CompletedRecords()
 	res.Figure1a, res.Figure1b = analysis.Figure1(res.DeepCrawls)
