@@ -80,7 +80,7 @@ func (c *Client) loop() {
 		}
 		c.mu.Lock()
 		c.stats.MessagesReceived++
-		c.stats.WSBytes = c.conn.BytesRead
+		c.stats.WSBytes = c.conn.BytesRead.Load()
 		display := c.cfg.DisplayChat
 		if display {
 			c.stats.MessagesShown++
@@ -126,7 +126,7 @@ func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
-	s.WSBytes = c.conn.BytesRead
+	s.WSBytes = c.conn.BytesRead.Load()
 	return s
 }
 

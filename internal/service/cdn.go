@@ -1,6 +1,7 @@
 package service
 
 import (
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -80,6 +81,11 @@ func (p *cdnPOP) close() {
 	p.srv.Close()
 }
 
+// countingWriter counts bytes served without masking the wrapped
+// ResponseWriter's optional interfaces: streaming playlist/segment
+// responses still reach http.Flusher (directly or via
+// http.ResponseController's Unwrap), and sendfile-style io.ReaderFrom
+// copies are passed through.
 type countingWriter struct {
 	http.ResponseWriter
 	n int64
@@ -90,3 +96,22 @@ func (cw *countingWriter) Write(b []byte) (int, error) {
 	cw.n += int64(n)
 	return n, err
 }
+
+// Flush forwards to the underlying writer so chunked live-playlist
+// responses are not held back by the counting layer.
+func (cw *countingWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom lets io.Copy use the underlying writer's ReadFrom (sendfile)
+// while still counting the bytes.
+func (cw *countingWriter) ReadFrom(r io.Reader) (int64, error) {
+	n, err := io.Copy(cw.ResponseWriter, r)
+	cw.n += n
+	return n, err
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (cw *countingWriter) Unwrap() http.ResponseWriter { return cw.ResponseWriter }

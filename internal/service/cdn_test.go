@@ -1,0 +1,52 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestCountingWriterPassthrough covers the capability-masking regression:
+// wrapping a ResponseWriter to count bytes must not hide http.Flusher or
+// io.ReaderFrom from streaming handlers, and must still count every byte.
+func TestCountingWriterPassthrough(t *testing.T) {
+	rec := httptest.NewRecorder()
+	cw := &countingWriter{ResponseWriter: rec}
+
+	f, ok := any(cw).(http.Flusher)
+	if !ok {
+		t.Fatal("countingWriter does not expose http.Flusher")
+	}
+	if _, err := cw.Write([]byte("#EXTM3U\n")); err != nil {
+		t.Fatal(err)
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Error("Flush did not reach the wrapped ResponseWriter")
+	}
+
+	// http.ResponseController finds capabilities through Unwrap.
+	if err := http.NewResponseController(cw).Flush(); err != nil {
+		t.Errorf("ResponseController.Flush: %v", err)
+	}
+
+	rf, ok := any(cw).(io.ReaderFrom)
+	if !ok {
+		t.Fatal("countingWriter does not expose io.ReaderFrom")
+	}
+	payload := strings.Repeat("x", 4096)
+	n, err := rf.ReadFrom(strings.NewReader(payload))
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("ReadFrom = (%d, %v), want (%d, nil)", n, err, len(payload))
+	}
+
+	want := int64(len("#EXTM3U\n") + len(payload))
+	if cw.n != want {
+		t.Errorf("counted %d bytes, want %d", cw.n, want)
+	}
+	if got := rec.Body.Len(); int64(got) != want {
+		t.Errorf("wrapped writer received %d bytes, want %d", got, want)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"periscope/internal/aac"
@@ -50,10 +52,14 @@ func (ing *ingestServer) OnPlay(c *rtmp.ServerConn, name string) error {
 // OnPublish registers the broadcaster connection.
 func (ing *ingestServer) OnPublish(c *rtmp.ServerConn, name string) error { return nil }
 
-// OnMedia routes publisher media into the hub pipeline.
+// OnMedia routes publisher media into the hub pipeline. The hub takes
+// ownership of the pooled payload; without a hub it goes straight back to
+// the pool.
 func (ing *ingestServer) OnMedia(c *rtmp.ServerConn, msg rtmp.Message) {
 	if h := ing.svc.hubFor(c.StreamName); h != nil {
 		h.onMedia(msg)
+	} else {
+		rtmp.RecycleMessagePayload(msg.Payload)
 	}
 }
 
@@ -66,10 +72,12 @@ func (ing *ingestServer) OnClose(c *rtmp.ServerConn) {
 	}
 }
 
-// hubFor looks up a live pipeline.
+// hubFor looks up a live pipeline. It runs once per media message, so it
+// takes only the read side of the service lock: media routing never waits
+// on control-plane writes (hub creation, shutdown).
 func (s *Service) hubFor(id string) *hub {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.hubs[id]
 }
 
@@ -87,6 +95,7 @@ func (s *Service) ensureHub(b *broadcastmodel.Broadcast) (*hub, error) {
 	s.hubs[b.ID] = h
 	if err := h.startBroadcaster(); err != nil {
 		delete(s.hubs, b.ID)
+		h.stop()
 		return nil, err
 	}
 	return h, nil
@@ -100,25 +109,59 @@ const viewerQueueDepth = 256
 // to penalize this many times — it is not keeping up at all.
 const viewerMaxDrops = 4096
 
-// outMsg is one queued media message for a viewer.
+// shardQueueDepth bounds each fan-out shard's descriptor queue. Shard
+// workers never block (viewer enqueue is drop-oldest), so the queue only
+// absorbs scheduling jitter between the publisher and the workers.
+const shardQueueDepth = 256
+
+// feedQueueDepth bounds the HLS feed queue. The feed must not drop (TS
+// continuity), so the publisher blocks if the muxer falls this far behind.
+const feedQueueDepth = 256
+
+// maxFanoutShards caps the per-hub worker count; past this, per-shard
+// batches are large enough that more workers only add wakeup overhead.
+const maxFanoutShards = 16
+
+// fanoutShardCount picks K for a production hub: one worker per core.
+func fanoutShardCount() int {
+	k := runtime.GOMAXPROCS(0)
+	if k < 1 {
+		k = 1
+	}
+	if k > maxFanoutShards {
+		k = maxFanoutShards
+	}
+	return k
+}
+
+// outMsg is one queued media message for a viewer. ref is nil for
+// hub-owned buffers (cached sequence headers); otherwise the queue slot
+// holds one reference, dropped via release.
 type outMsg struct {
 	typeID    uint8
 	timestamp uint32
 	payload   []byte
+	ref       *rtmp.SharedPayload
+}
+
+func (m outMsg) release() {
+	if m.ref != nil {
+		m.ref.Release()
+	}
 }
 
 // viewerState tracks one attached RTMP viewer. Media is enqueued on a
 // bounded channel and written by a dedicated goroutine, so a slow or
-// stalled viewer socket never blocks the publisher's fan-out loop.
+// stalled viewer socket never blocks the shard's fan-out loop.
 type viewerState struct {
-	conn *rtmp.ServerConn
-	ch   chan outMsg
-	quit chan struct{}
-	once sync.Once
+	conn  *rtmp.ServerConn
+	shard *fanoutShard
+	ch    chan outMsg
+	quit  chan struct{}
+	once  sync.Once
 	// waiting is true until the next keyframe; streams always start
 	// decodable, which costs up to a GOP of join delay, as real relays do.
-	// It is touched only by the hub's single fan-out goroutine (and at
-	// attach time, before the viewer is published to that goroutine).
+	// It is owned by the shard's delivery path (guarded by shard.mu).
 	waiting bool
 	// needSeq is set when the drop-oldest policy may have evicted the
 	// queued sequence headers; they are re-sent at the next resync.
@@ -128,8 +171,10 @@ type viewerState struct {
 }
 
 // enqueue offers a message to the viewer's queue without ever blocking.
-// When the queue is full the oldest entry is dropped to make room; it
-// reports whether anything was dropped.
+// When the queue is full the oldest entry is dropped (and its payload
+// reference released) to make room; it reports whether anything was
+// dropped. If the message still cannot be queued, its reference is
+// released here, so the caller's handoff is unconditional.
 func (v *viewerState) enqueue(m outMsg) bool {
 	select {
 	case v.ch <- m:
@@ -137,12 +182,14 @@ func (v *viewerState) enqueue(m outMsg) bool {
 	default:
 	}
 	select {
-	case <-v.ch:
+	case old := <-v.ch:
+		old.release()
 	default:
 	}
 	select {
 	case v.ch <- m:
 	default:
+		m.release()
 	}
 	return true
 }
@@ -152,10 +199,26 @@ func (v *viewerState) stop() {
 	v.once.Do(func() { close(v.quit) })
 }
 
+// drain releases every payload reference still sitting in the queue. It
+// is called after the viewer can no longer be enqueued to (sender exit,
+// removal from its shard), and is safe to run concurrently with a late
+// consumer.
+func (v *viewerState) drain() {
+	for {
+		select {
+		case m := <-v.ch:
+			m.release()
+		default:
+			return
+		}
+	}
+}
+
 // run drains the queue onto the viewer's connection. A write error closes
 // the connection; the viewer's read loop then triggers OnClose and the
 // hub removes it.
 func (v *viewerState) run() {
+	defer v.drain()
 	for {
 		select {
 		case <-v.quit:
@@ -168,6 +231,7 @@ func (v *viewerState) run() {
 			case rtmp.TypeAudio:
 				err = v.conn.SendAudio(m.timestamp, m.payload)
 			}
+			m.release()
 			if err != nil {
 				v.conn.Close()
 				return
@@ -176,24 +240,293 @@ func (v *viewerState) run() {
 	}
 }
 
-// hub is the per-broadcast distribution pipeline.
+// shardMsg is the per-shard fan-out descriptor: the publisher parses the
+// FLV tag header once and publishes one of these to every shard instead
+// of touching any viewer itself.
+type shardMsg struct {
+	typeID     uint8
+	timestamp  uint32
+	isVideoKey bool
+	sp         *rtmp.SharedPayload
+}
+
+// fanoutShard owns a disjoint subset of a hub's viewers. In sharded mode
+// a dedicated worker delivers descriptors from ch, so K shards spread the
+// per-viewer enqueue work across K cores; in serial mode (baseline,
+// deterministic tests) deliver runs inline on the publisher goroutine.
+// Viewer resync state (waiting/needSeq/dropped) is only touched under mu
+// by whichever goroutine is delivering, so it needs no extra locking.
+type fanoutShard struct {
+	h    *hub
+	ch   chan shardMsg
+	quit chan struct{}
+	// nviewers mirrors len(viewers) so the publisher can skip empty
+	// shards without taking mu: most simulated broadcasts have 0-1
+	// viewers, and an idle hub must not pay K retains and worker wakeups
+	// per message. A viewer attaching in the skip window only misses
+	// messages it would have skipped anyway (it waits for a keyframe).
+	nviewers atomic.Int32
+
+	mu      sync.Mutex
+	viewers []*viewerState
+	stopped bool
+}
+
+// attach registers v and queues the current sequence headers so they
+// always precede media. It reports false when the shard has stopped.
+func (sh *fanoutShard) attach(v *viewerState) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopped {
+		return false
+	}
+	if hd := sh.h.seqHdrs.Load(); hd != nil {
+		if hd.video != nil {
+			v.enqueue(outMsg{typeID: rtmp.TypeVideo, payload: hd.video})
+		}
+		if hd.audio != nil {
+			v.enqueue(outMsg{typeID: rtmp.TypeAudio, payload: hd.audio})
+		}
+	}
+	sh.viewers = append(sh.viewers, v)
+	sh.nviewers.Store(int32(len(sh.viewers)))
+	return true
+}
+
+// remove detaches v; afterwards no delivery can enqueue to it, so the
+// caller may drain its queue.
+func (sh *fanoutShard) remove(v *viewerState) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, w := range sh.viewers {
+		if w == v {
+			last := len(sh.viewers) - 1
+			sh.viewers[i] = sh.viewers[last]
+			sh.viewers[last] = nil
+			sh.viewers = sh.viewers[:last]
+			sh.nviewers.Store(int32(len(sh.viewers)))
+			return
+		}
+	}
+}
+
+// publish hands one descriptor (and one payload reference) to the shard
+// worker. After shutdown the reference is dropped instead. A send that
+// races shutdown can strand a reference in the channel; the buffer is
+// then reclaimed by GC rather than the pool, which is harmless.
+func (sh *fanoutShard) publish(m shardMsg) {
+	select {
+	case sh.ch <- m:
+	case <-sh.quit:
+		m.sp.Release()
+	}
+}
+
+// run is the shard worker loop.
+func (sh *fanoutShard) run() {
+	for {
+		select {
+		case <-sh.quit:
+			sh.drainCh()
+			return
+		case m := <-sh.ch:
+			sh.deliver(m)
+			m.sp.Release()
+		}
+	}
+}
+
+func (sh *fanoutShard) drainCh() {
+	for {
+		select {
+		case m := <-sh.ch:
+			m.sp.Release()
+		default:
+			return
+		}
+	}
+}
+
+// deliver fans one message out to this shard's viewers. The caller keeps
+// its payload reference; deliver takes one per viewer queue.
+func (sh *fanoutShard) deliver(m shardMsg) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; i < len(sh.viewers); i++ {
+		v := sh.viewers[i]
+		if v.waiting {
+			if !m.isVideoKey {
+				continue
+			}
+			if v.needSeq {
+				// Drops may have evicted the queued sequence headers; the
+				// stream is undecodable without them, so re-send before
+				// the keyframe that restarts playback.
+				if hd := sh.h.seqHdrs.Load(); hd != nil {
+					if hd.video != nil {
+						v.enqueue(outMsg{typeID: rtmp.TypeVideo, payload: hd.video})
+					}
+					if hd.audio != nil {
+						v.enqueue(outMsg{typeID: rtmp.TypeAudio, payload: hd.audio})
+					}
+				}
+				v.needSeq = false
+			}
+			v.waiting = false
+		}
+		m.sp.Retain()
+		if v.enqueue(outMsg{typeID: m.typeID, timestamp: m.timestamp, payload: m.sp.Bytes(), ref: m.sp}) {
+			v.dropped++
+			// A dropped message may have been video (or the sequence
+			// headers), leaving the decoder mid-GOP: hold this viewer
+			// until the next keyframe and refresh its headers there.
+			v.waiting = true
+			v.needSeq = true
+			if v.dropped >= viewerMaxDrops {
+				// Hopeless consumer: disconnect exactly once and remove it
+				// from the shard so no later message can close it again.
+				last := len(sh.viewers) - 1
+				sh.viewers[i] = sh.viewers[last]
+				sh.viewers[last] = nil
+				sh.viewers = sh.viewers[:last]
+				sh.nviewers.Store(int32(len(sh.viewers)))
+				i--
+				v.conn.Close()
+				v.stop()
+				v.drain()
+				sh.h.forget(v.conn)
+			}
+		}
+	}
+}
+
+// stopShard detaches and stops every viewer, then stops the worker.
+func (sh *fanoutShard) stopShard() {
+	sh.mu.Lock()
+	sh.stopped = true
+	viewers := sh.viewers
+	sh.viewers = nil
+	sh.nviewers.Store(0)
+	sh.mu.Unlock()
+	close(sh.quit)
+	for _, v := range viewers {
+		v.stop()
+		v.drain()
+	}
+}
+
+// seqHeaders is an immutable snapshot of the cached FLV sequence headers,
+// published on the hub so shard workers can resync viewers without taking
+// the hub lock. The buffers are hub-owned copies, never pooled.
+type seqHeaders struct {
+	video []byte // AVC sequence header tag data
+	audio []byte // AAC sequence header tag data
+}
+
+// feedMsg carries one media message (and one payload reference) to the
+// HLS feed worker. vt is the tag header parsed by the publisher; its Data
+// points into the shared payload.
+type feedMsg struct {
+	typeID    uint8
+	timestamp uint32
+	vt        flv.VideoTagData
+	sp        *rtmp.SharedPayload
+}
+
+// hlsFeed repackages media into the segmenter on its own goroutine, so TS
+// muxing cost never rides the publisher's read loop.
+type hlsFeed struct {
+	h    *hub
+	ch   chan feedMsg
+	quit chan struct{}
+}
+
+// publish hands one message to the feed worker, blocking if the muxer is
+// behind: segments must not have holes, so there is no drop policy here.
+func (f *hlsFeed) publish(m feedMsg) {
+	select {
+	case f.ch <- m:
+	case <-f.quit:
+		m.sp.Release()
+	}
+}
+
+func (f *hlsFeed) run() {
+	for {
+		select {
+		case <-f.quit:
+			f.drainCh()
+			return
+		case m := <-f.ch:
+			if seg := f.h.seg.Load(); seg != nil {
+				feedSegmenter(seg, m.typeID, m.timestamp, m.sp.Bytes(), m.vt)
+			}
+			m.sp.Release()
+		}
+	}
+}
+
+func (f *hlsFeed) drainCh() {
+	for {
+		select {
+		case m := <-f.ch:
+			m.sp.Release()
+		default:
+			return
+		}
+	}
+}
+
+// hub is the per-broadcast distribution pipeline: the publisher's read
+// loop parses each message once and publishes a descriptor to K fan-out
+// shards (and the HLS feed), instead of walking every viewer inline.
 type hub struct {
 	svc *Service
 	b   *broadcastmodel.Broadcast
 
-	mu       sync.Mutex
-	viewers  []*viewerState
-	videoSeq []byte // cached AVC sequence header tag data
-	audioSeq []byte // cached AAC sequence header tag data
-	seg      *hls.Segmenter
-	stopCh   chan struct{}
-	stopped  bool
-	pub      *rtmp.Client
-	enc      *media.Encoder
+	shards []*fanoutShard
+	// serial delivers inline on the publisher goroutine — the
+	// pre-sharding baseline, kept for benchmarks and deterministic tests.
+	serial bool
+
+	seqHdrs atomic.Pointer[seqHeaders]
+	seg     atomic.Pointer[hls.Segmenter]
+	feed    atomic.Pointer[hlsFeed]
+
+	mu      sync.Mutex
+	byConn  map[*rtmp.ServerConn]*viewerState
+	next    int // round-robin attach cursor
+	stopCh  chan struct{}
+	stopped bool
+	pub     *rtmp.Client
+	enc     *media.Encoder
 }
 
 func newHub(s *Service, b *broadcastmodel.Broadcast) *hub {
-	return &hub{svc: s, b: b, stopCh: make(chan struct{})}
+	return newFanoutHub(s, b, fanoutShardCount(), false)
+}
+
+// newFanoutHub builds a hub with an explicit shard count; serial mode
+// skips the workers and delivers synchronously.
+func newFanoutHub(s *Service, b *broadcastmodel.Broadcast, shards int, serial bool) *hub {
+	if shards < 1 {
+		shards = 1
+	}
+	h := &hub{
+		svc:    s,
+		b:      b,
+		serial: serial,
+		byConn: map[*rtmp.ServerConn]*viewerState{},
+		stopCh: make(chan struct{}),
+	}
+	for i := 0; i < shards; i++ {
+		sh := &fanoutShard{h: h, ch: make(chan shardMsg, shardQueueDepth), quit: make(chan struct{})}
+		h.shards = append(h.shards, sh)
+		if !serial {
+			go sh.run()
+		}
+	}
+	return h
 }
 
 // startBroadcaster dials the regional ingest server and begins pushing the
@@ -243,10 +576,7 @@ func (h *hub) produce(cli *rtmp.Client, enc *media.Encoder, rng *rand.Rand) {
 		Data:       flv.DecoderConfig(enc.SPS(), enc.PPS()),
 	}.Marshal()
 	audioSeq := flv.AudioTagData{PacketType: flv.AACSeqHeader, Data: acfg.AudioSpecificConfig()}.Marshal()
-	h.mu.Lock()
-	h.videoSeq = videoSeq
-	h.audioSeq = audioSeq
-	h.mu.Unlock()
+	h.seqHdrs.Store(&seqHeaders{video: videoSeq, audio: audioSeq})
 	if err := cli.WriteVideo(0, videoSeq); err != nil {
 		return
 	}
@@ -298,9 +628,9 @@ func (h *hub) produce(cli *rtmp.Client, enc *media.Encoder, rng *rand.Rand) {
 	}
 }
 
-// addViewer attaches an RTMP viewer; it receives the sequence headers
-// immediately and media from the next keyframe. The sequence headers are
-// enqueued while the viewer is registered, so they always precede media.
+// addViewer attaches an RTMP viewer to the next shard round-robin; it
+// receives the sequence headers immediately and media from the next
+// keyframe.
 func (h *hub) addViewer(c *rtmp.ServerConn) {
 	v := &viewerState{
 		conn:    c,
@@ -316,107 +646,129 @@ func (h *hub) addViewer(c *rtmp.ServerConn) {
 		c.Close()
 		return
 	}
-	if h.videoSeq != nil {
-		v.enqueue(outMsg{typeID: rtmp.TypeVideo, payload: h.videoSeq})
-	}
-	if h.audioSeq != nil {
-		v.enqueue(outMsg{typeID: rtmp.TypeAudio, payload: h.audioSeq})
-	}
-	h.viewers = append(h.viewers, v)
+	sh := h.shards[h.next%len(h.shards)]
+	h.next++
+	v.shard = sh
+	h.byConn[c] = v
 	h.mu.Unlock()
+	if !sh.attach(v) {
+		// The shard stopped between the checks; undo the registration.
+		h.forget(c)
+		c.Close()
+		return
+	}
 	go v.run()
 }
 
+// removeViewer detaches c's viewer (OnClose). It is a no-op when the
+// delivery path already removed the viewer as hopeless.
 func (h *hub) removeViewer(c *rtmp.ServerConn) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	for i, v := range h.viewers {
-		if v.conn == c {
-			v.stop()
-			h.viewers = append(h.viewers[:i], h.viewers[i+1:]...)
-			return
-		}
+	v := h.byConn[c]
+	delete(h.byConn, c)
+	h.mu.Unlock()
+	if v == nil {
+		return
 	}
+	v.shard.remove(v)
+	v.stop()
+	// Nothing can enqueue after remove, so the queue drains exactly once
+	// here (the sender goroutine may race a last consume — both release).
+	v.drain()
+}
+
+// forget drops the conn→viewer registration without touching the shard
+// (used by the delivery path, which edits its own viewer list).
+func (h *hub) forget(c *rtmp.ServerConn) {
+	h.mu.Lock()
+	delete(h.byConn, c)
+	h.mu.Unlock()
 }
 
 // ViewerCount reports attached RTMP viewers (tests).
 func (h *hub) ViewerCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.viewers)
+	return len(h.byConn)
 }
 
-// onMedia fans publisher media out to viewers and the HLS pipeline.
-func (h *hub) onMedia(msg rtmp.Message) {
+// viewerFor returns the live viewer state for c (tests).
+func (h *hub) viewerFor(c *rtmp.ServerConn) *viewerState {
 	h.mu.Lock()
-	// Cache sequence headers for late joiners.
+	defer h.mu.Unlock()
+	return h.byConn[c]
+}
+
+// cacheSeqHeader snapshots a sequence-header tag for late joiners. The
+// pooled payload will be recycled after fan-out, so the cache keeps its
+// own copy. Only the publisher's read goroutine updates the snapshot.
+func (h *hub) cacheSeqHeader(typeID uint8, payload []byte) {
+	hd := &seqHeaders{}
+	if cur := h.seqHdrs.Load(); cur != nil {
+		*hd = *cur
+	}
+	cp := append([]byte(nil), payload...)
+	if typeID == rtmp.TypeVideo {
+		hd.video = cp
+	} else {
+		hd.audio = cp
+	}
+	h.seqHdrs.Store(hd)
+}
+
+// onMedia routes one publisher message: parse the FLV tag header once,
+// wrap the pooled payload in a refcount, publish a descriptor to every
+// shard and the HLS feed, then drop the caller's reference. The payload
+// returns to the chunk-layer pool when the last viewer queue drains.
+func (h *hub) onMedia(msg rtmp.Message) {
 	isVideoKey := false
 	var vt flv.VideoTagData
-	if msg.TypeID == rtmp.TypeVideo {
+	switch msg.TypeID {
+	case rtmp.TypeVideo:
 		if parsed, err := flv.ParseVideoTagData(msg.Payload); err == nil {
 			vt = parsed
 			if vt.PacketType == flv.AVCSeqHeader {
-				h.videoSeq = msg.Payload
+				h.cacheSeqHeader(rtmp.TypeVideo, msg.Payload)
 			}
 			isVideoKey = vt.FrameType == flv.VideoKeyFrame && vt.PacketType == flv.AVCNALU
 		}
-	} else if msg.TypeID == rtmp.TypeAudio {
+	case rtmp.TypeAudio:
 		if parsed, err := flv.ParseAudioTagData(msg.Payload); err == nil && parsed.PacketType == flv.AACSeqHeader {
-			h.audioSeq = msg.Payload
-		}
-	}
-	viewers := append([]*viewerState(nil), h.viewers...)
-	videoSeq, audioSeq := h.videoSeq, h.audioSeq
-	seg := h.seg
-	h.mu.Unlock()
-
-	// The FLV tag header was parsed once above; fan-out is non-blocking:
-	// each viewer has its own bounded queue and sender goroutine, so a
-	// stalled socket penalizes only that viewer, never the broadcast.
-	out := outMsg{typeID: msg.TypeID, timestamp: msg.Timestamp, payload: msg.Payload}
-	for _, v := range viewers {
-		if v.waiting {
-			if !isVideoKey {
-				continue
-			}
-			if v.needSeq {
-				// Drops may have evicted the queued sequence headers; the
-				// stream is undecodable without them, so re-send before
-				// the keyframe that restarts playback.
-				if videoSeq != nil {
-					v.enqueue(outMsg{typeID: rtmp.TypeVideo, payload: videoSeq})
-				}
-				if audioSeq != nil {
-					v.enqueue(outMsg{typeID: rtmp.TypeAudio, payload: audioSeq})
-				}
-				v.needSeq = false
-			}
-			v.waiting = false
-		}
-		if v.enqueue(out) {
-			v.dropped++
-			// A dropped message may have been video (or the sequence
-			// headers), leaving the decoder mid-GOP: hold this viewer
-			// until the next keyframe and refresh its headers there.
-			v.waiting = true
-			v.needSeq = true
-			if v.dropped >= viewerMaxDrops {
-				v.conn.Close() // hopeless consumer: disconnect
-			}
+			h.cacheSeqHeader(rtmp.TypeAudio, msg.Payload)
 		}
 	}
 
-	if seg != nil {
-		h.feedSegmenter(seg, msg, vt)
+	sp := rtmp.SharePayload(msg.Payload)
+	m := shardMsg{typeID: msg.TypeID, timestamp: msg.Timestamp, isVideoKey: isVideoKey, sp: sp}
+	for _, sh := range h.shards {
+		if sh.nviewers.Load() == 0 {
+			continue
+		}
+		if h.serial {
+			sh.deliver(m)
+		} else {
+			sp.Retain()
+			sh.publish(m)
+		}
 	}
+	if seg := h.seg.Load(); seg != nil {
+		if f := h.feed.Load(); f != nil {
+			sp.Retain()
+			f.publish(feedMsg{typeID: msg.TypeID, timestamp: msg.Timestamp, vt: vt, sp: sp})
+		} else {
+			feedSegmenter(seg, msg.TypeID, msg.Timestamp, msg.Payload, vt)
+		}
+	}
+	sp.Release()
 }
 
 // feedSegmenter repackages FLV tags into the MPEG-TS segmenter — the
 // "transcode, repackage and deliver to Fastly" step the paper hypothesises
-// for popular broadcasts.
-func (h *hub) feedSegmenter(seg *hls.Segmenter, msg rtmp.Message, vt flv.VideoTagData) {
+// for popular broadcasts. The segmenter copies into TS packets before
+// returning, so the caller may release the payload afterwards.
+func feedSegmenter(seg *hls.Segmenter, typeID uint8, timestamp uint32, payload []byte, vt flv.VideoTagData) {
 	now := time.Now()
-	switch msg.TypeID {
+	switch typeID {
 	case rtmp.TypeVideo:
 		if vt.PacketType != flv.AVCNALU {
 			return
@@ -425,42 +777,52 @@ func (h *hub) feedSegmenter(seg *hls.Segmenter, msg rtmp.Message, vt flv.VideoTa
 		if err != nil {
 			return
 		}
-		dts := time.Duration(msg.Timestamp) * time.Millisecond
+		dts := time.Duration(timestamp) * time.Millisecond
 		pts := dts + time.Duration(vt.CompositionTime)*time.Millisecond
 		seg.WriteVideo(now, pts, dts, vt.FrameType == flv.VideoKeyFrame, avc.MarshalAnnexB(units))
 	case rtmp.TypeAudio:
-		at, err := flv.ParseAudioTagData(msg.Payload)
+		at, err := flv.ParseAudioTagData(payload)
 		if err != nil || at.PacketType != flv.AACRaw {
 			return
 		}
-		pts := time.Duration(msg.Timestamp) * time.Millisecond
+		pts := time.Duration(timestamp) * time.Millisecond
 		seg.WriteAudio(now, pts, at.Data)
 	}
 }
 
-// enableHLS attaches a segmenter and registers the broadcast with every
-// CDN POP (idempotent).
+// enableHLS attaches a segmenter (with its feed worker) and registers the
+// broadcast with every CDN POP (idempotent).
 func (h *hub) enableHLS() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.seg != nil {
+	if h.seg.Load() != nil {
 		return nil
 	}
-	h.seg = hls.NewSegmenter(h.svc.cfg.SegmentTarget, hls.DefaultWindowSize)
-	for _, pop := range h.svc.cdn {
-		pop.register(h.b.ID, h.seg)
+	if h.stopped {
+		return fmt.Errorf("service: broadcast %s ended", h.b.ID)
 	}
+	seg := hls.NewSegmenter(h.svc.cfg.SegmentTarget, hls.DefaultWindowSize)
+	for _, pop := range h.svc.cdn {
+		pop.register(h.b.ID, seg)
+	}
+	if !h.serial {
+		f := &hlsFeed{h: h, ch: make(chan feedMsg, feedQueueDepth), quit: make(chan struct{})}
+		// Publish the feed before the segmenter: onMedia loads them in the
+		// opposite order, so a visible segmenter implies a visible feed.
+		h.feed.Store(f)
+		go f.run()
+	}
+	h.seg.Store(seg)
 	return nil
 }
 
 // Segmenter exposes the HLS pipeline (tests and analysis).
 func (h *hub) Segmenter() *hls.Segmenter {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.seg
+	return h.seg.Load()
 }
 
-// stop tears the pipeline down.
+// stop tears the pipeline down: publisher, shards (stopping and draining
+// every viewer), HLS feed, segmenter, chat room.
 func (h *hub) stop() {
 	h.mu.Lock()
 	if h.stopped {
@@ -469,14 +831,17 @@ func (h *hub) stop() {
 	}
 	h.stopped = true
 	close(h.stopCh)
-	seg := h.seg
-	viewers := append([]*viewerState(nil), h.viewers...)
 	h.mu.Unlock()
-	for _, v := range viewers {
-		v.stop()
+	for _, sh := range h.shards {
+		sh.stopShard()
 	}
-	if seg != nil {
+	if f := h.feed.Load(); f != nil {
+		close(f.quit)
+	}
+	if seg := h.seg.Load(); seg != nil {
 		seg.Finish(time.Now())
 	}
-	h.svc.Chat.CloseRoom(h.b.ID)
+	if h.svc != nil {
+		h.svc.Chat.CloseRoom(h.b.ID)
+	}
 }

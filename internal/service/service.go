@@ -74,7 +74,11 @@ type Service struct {
 	ingest  map[string]*ingestServer // region name -> RTMP ingest
 	cdn     []*cdnPOP
 
-	mu   sync.Mutex
+	// mu guards hubs and done. It is an RWMutex because hubFor runs on
+	// every media message: routing takes the read side only, so it never
+	// contends with other readers and only waits on the rare control-plane
+	// writes (hub creation, shutdown).
+	mu   sync.RWMutex
 	hubs map[string]*hub // broadcast ID -> live pipeline
 	done bool
 }

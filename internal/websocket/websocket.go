@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 )
 
 // rfc6455GUID is the magic GUID concatenated with the key in the handshake.
@@ -41,10 +42,13 @@ type Conn struct {
 	nc     net.Conn
 	br     *bufio.Reader
 	client bool // client connections mask outgoing frames
-	closed bool
+	// closed is atomic: Close may race the read loop's ReadMessage.
+	closed atomic.Bool
 	// BytesRead/BytesWritten count wire bytes for traffic accounting.
-	BytesRead    int64
-	BytesWritten int64
+	// They are atomics because traffic snapshots (chat stats) read them
+	// while the read/write loops are still running.
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
 }
 
 // AcceptKey computes the Sec-WebSocket-Accept value for a key.
@@ -142,7 +146,7 @@ func Dial(rawURL string, dial func(network, addr string) (net.Conn, error)) (*Co
 
 // WriteMessage sends one unfragmented message with the given opcode.
 func (c *Conn) WriteMessage(opcode int, payload []byte) error {
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
 	hdr := make([]byte, 0, 14)
@@ -177,14 +181,14 @@ func (c *Conn) WriteMessage(opcode int, payload []byte) error {
 		return err
 	}
 	n, err := c.nc.Write(body)
-	c.BytesWritten += int64(len(hdr) + n)
+	c.BytesWritten.Add(int64(len(hdr) + n))
 	return err
 }
 
 // ReadMessage returns the next complete data message, transparently
 // answering pings and reassembling fragmented messages.
 func (c *Conn) ReadMessage() (opcode int, payload []byte, err error) {
-	if c.closed {
+	if c.closed.Load() {
 		return 0, nil, ErrClosed
 	}
 	var assembled []byte
@@ -203,7 +207,7 @@ func (c *Conn) ReadMessage() (opcode int, payload []byte, err error) {
 		case OpPong:
 			continue
 		case OpClose:
-			c.closed = true
+			c.closed.Store(true)
 			// Echo the close frame best-effort, then report closed.
 			frameHdr := []byte{0x80 | OpClose, 0}
 			c.nc.Write(frameHdr)
@@ -231,7 +235,7 @@ func (c *Conn) readFrame() (fin bool, opcode int, payload []byte, err error) {
 	if _, err := io.ReadFull(c.br, h[:]); err != nil {
 		return false, 0, nil, err
 	}
-	c.BytesRead += 2
+	c.BytesRead.Add(2)
 	fin = h[0]&0x80 != 0
 	opcode = int(h[0] & 0x0F)
 	masked := h[1]&0x80 != 0
@@ -242,14 +246,14 @@ func (c *Conn) readFrame() (fin bool, opcode int, payload []byte, err error) {
 		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
 			return false, 0, nil, err
 		}
-		c.BytesRead += 2
+		c.BytesRead.Add(2)
 		length = uint64(binary.BigEndian.Uint16(ext[:]))
 	case 127:
 		var ext [8]byte
 		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
 			return false, 0, nil, err
 		}
-		c.BytesRead += 8
+		c.BytesRead.Add(8)
 		length = binary.BigEndian.Uint64(ext[:])
 	}
 	if length > 64<<20 {
@@ -260,13 +264,13 @@ func (c *Conn) readFrame() (fin bool, opcode int, payload []byte, err error) {
 		if _, err := io.ReadFull(c.br, mask[:]); err != nil {
 			return false, 0, nil, err
 		}
-		c.BytesRead += 4
+		c.BytesRead.Add(4)
 	}
 	payload = make([]byte, length)
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return false, 0, nil, err
 	}
-	c.BytesRead += int64(length)
+	c.BytesRead.Add(int64(length))
 	if masked {
 		for i := range payload {
 			payload[i] ^= mask[i&3]
@@ -277,8 +281,7 @@ func (c *Conn) readFrame() (fin bool, opcode int, payload []byte, err error) {
 
 // Close sends a close frame and closes the transport.
 func (c *Conn) Close() error {
-	if !c.closed {
-		c.closed = true
+	if c.closed.CompareAndSwap(false, true) {
 		c.writeRaw(0x80|OpClose, nil)
 	}
 	return c.nc.Close()

@@ -169,8 +169,8 @@ func TestTrafficAccounting(t *testing.T) {
 	defer c.Close()
 	c.WriteMessage(OpText, bytes.Repeat([]byte("a"), 1000))
 	c.ReadMessage()
-	if c.BytesWritten < 1000 || c.BytesRead < 1000 {
-		t.Errorf("accounting: wrote %d read %d", c.BytesWritten, c.BytesRead)
+	if c.BytesWritten.Load() < 1000 || c.BytesRead.Load() < 1000 {
+		t.Errorf("accounting: wrote %d read %d", c.BytesWritten.Load(), c.BytesRead.Load())
 	}
 }
 
