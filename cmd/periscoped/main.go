@@ -1,6 +1,8 @@
 // Command periscoped runs the full Periscope-like service on loopback —
-// API, regional RTMP ingest fleet, CDN POPs and chat — and prints the
-// endpoints. Point the other tools (or your own RTMP/HLS client) at it.
+// API, regional RTMP ingest fleet, CDN origin tier + edge POPs and chat —
+// and prints the endpoints. Point the other tools (or your own RTMP/HLS
+// client) at it. A delivery-plane snapshot (fan-out drops/resyncs, CDN
+// fills, playlist staleness) prints periodically and at shutdown.
 package main
 
 import (
@@ -9,13 +11,16 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"periscope"
+	"periscope/internal/analysis"
 )
 
 func main() {
 	concurrent := flag.Int("broadcasts", 300, "steady-state number of live broadcasts")
 	threshold := flag.Int("hls-threshold", 100, "viewer count beyond which HLS is used")
+	statsEvery := flag.Duration("stats", time.Minute, "delivery snapshot print interval (0 disables)")
 	flag.Parse()
 
 	cfg := periscope.DefaultTestbedConfig()
@@ -38,6 +43,20 @@ func main() {
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
-	<-ch
-	fmt.Println("\nshutting down")
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+			fmt.Println(analysis.DeliveryTable(tb.Snapshot()).Render())
+		case <-ch:
+			fmt.Println("\nshutting down; final delivery snapshot:")
+			fmt.Println(analysis.DeliveryTable(tb.Snapshot()).Render())
+			return
+		}
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"periscope/internal/geo"
 	"periscope/internal/mediaanalysis"
 	"periscope/internal/power"
+	"periscope/internal/service"
 	"periscope/internal/session"
 	"periscope/internal/stats"
 )
@@ -448,4 +449,44 @@ func Section52Stats(rtmp, hlsSegs []mediaanalysis.Report, segDurs []time.Duratio
 			{"resolution", "320x568 (either orientation)", "always 320x568"},
 		},
 	}
+}
+
+// DeliveryTable renders a service delivery-plane snapshot: the RTMP
+// fan-out counters (drops, resyncs, hopeless disconnects) next to the CDN
+// origin/edge fill metrics (fills, coalesced requests, playlist staleness,
+// evictions) — the operational view of the two-POP Fastly delivery the
+// paper measured from the outside.
+func DeliveryTable(snap service.Snapshot) Table {
+	t := Table{
+		ID:     "Delivery",
+		Title:  "Service delivery-plane snapshot",
+		Header: []string{"tier", "metric", "value"},
+	}
+	add := func(tier, metric, value string) {
+		t.Rows = append(t.Rows, []string{tier, metric, value})
+	}
+	d := snap.Delivery
+	add("fan-out", "live hubs", fmt.Sprintf("%d", d.LiveHubs))
+	add("fan-out", "attached viewers", fmt.Sprintf("%d", d.Viewers))
+	add("fan-out", "queue drops", fmt.Sprintf("%d", d.Drops))
+	add("fan-out", "keyframe resyncs", fmt.Sprintf("%d", d.Resyncs))
+	add("fan-out", "hopeless disconnects", fmt.Sprintf("%d", d.HopelessDisconnects))
+	o := snap.Origin
+	add("origin", "registered broadcasts", fmt.Sprintf("%d", o.Broadcasts))
+	add("origin", "fill requests (playlist/segment)",
+		fmt.Sprintf("%d (%d/%d)", o.Requests, o.PlaylistRequests, o.SegmentRequests))
+	add("origin", "fill bytes", fmt.Sprintf("%d", o.Bytes))
+	for _, p := range snap.POPs {
+		tier := fmt.Sprintf("pop %d", p.Index)
+		add(tier, "viewer requests", fmt.Sprintf("%d", p.Requests))
+		add(tier, "viewer bytes", fmt.Sprintf("%d", p.Bytes))
+		add(tier, "replicas / cached segments", fmt.Sprintf("%d / %d", p.Broadcasts, p.CachedSegments))
+		add(tier, "segment fills", fmt.Sprintf("%d (%d B, %d errors)", p.Fills, p.FillBytes, p.FillErrors))
+		add(tier, "single-flight hits", fmt.Sprintf("%d", p.SingleFlightHits))
+		add(tier, "playlist refreshes / stale serves",
+			fmt.Sprintf("%d / %d", p.PlaylistRefreshes, p.StaleServes))
+		add(tier, "evictions", fmt.Sprintf("%d", p.Evictions))
+		add(tier, "max playlist age", p.MaxPlaylistAge.String())
+	}
+	return t
 }

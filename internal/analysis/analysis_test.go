@@ -8,6 +8,7 @@ import (
 	"periscope/internal/crawler"
 	"periscope/internal/mediaanalysis"
 	"periscope/internal/player"
+	"periscope/internal/service"
 	"periscope/internal/session"
 )
 
@@ -155,5 +156,24 @@ func TestSection52Table(t *testing.T) {
 	out := tbl.Render()
 	if !strings.Contains(out, "50.0%") { // RTMP IP-only share
 		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestDeliveryTableRenders(t *testing.T) {
+	snap := service.Snapshot{
+		Delivery: service.DeliverySnapshot{LiveHubs: 2, Viewers: 150, Drops: 12, Resyncs: 4, HopelessDisconnects: 1},
+		Origin:   service.OriginSnapshot{Broadcasts: 2, Requests: 30, Bytes: 1 << 20, PlaylistRequests: 10, SegmentRequests: 20},
+		POPs: []service.POPSnapshot{{
+			Index: 0, Requests: 500, Bytes: 5 << 20, Broadcasts: 2, CachedSegments: 8,
+			Fills: 20, FillBytes: 1 << 20, SingleFlightHits: 480,
+			PlaylistRefreshes: 10, StaleServes: 3, Evictions: 6,
+			MaxPlaylistAge: 1700 * time.Millisecond,
+		}},
+	}
+	out := DeliveryTable(snap).Render()
+	for _, want := range []string{"hopeless disconnects", "single-flight hits", "stale serves", "max playlist age", "1.7s", "pop 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delivery table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -3,8 +3,11 @@ package hls
 import (
 	"bytes"
 	"context"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -223,6 +226,51 @@ func TestOriginAndClientLive(t *testing.T) {
 	}
 	if client.Bytes == 0 || client.PlaylistFetches == 0 {
 		t.Error("traffic accounting empty")
+	}
+}
+
+// TestOriginServesEndlistAfterFinish covers the finished-broadcast
+// regression: once the segmenter is closed, the origin's playlist must
+// carry #EXT-X-ENDLIST (with a final-cacheable header) so a polling viewer
+// terminates instead of spinning forever.
+func TestOriginServesEndlistAfterFinish(t *testing.T) {
+	seg := feedSegmenter(t, 8*time.Second, DefaultSegmentTarget)
+	if !seg.Ended() {
+		t.Fatal("Finish did not mark the segmenter ended")
+	}
+	srv := httptest.NewServer(&Origin{Seg: seg})
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/playlist.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := ParseMediaPlaylist(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Ended {
+		t.Fatal("finished broadcast's playlist lacks ENDLIST")
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Errorf("final playlist Cache-Control = %q, want immutable", cc)
+	}
+
+	// A client polling the completed broadcast returns promptly.
+	client := NewClient(ClientConfig{BaseURL: srv.URL, PollInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := client.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Err() != nil || time.Since(start) > 4*time.Second {
+		t.Error("client did not terminate on the ended playlist")
 	}
 }
 

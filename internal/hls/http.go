@@ -18,9 +18,16 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	base := path[strings.LastIndexByte(path, '/')+1:]
 	switch {
 	case base == "playlist.m3u8":
+		pl := o.Seg.Playlist()
 		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
-		w.Header().Set("Cache-Control", "max-age=1")
-		w.Write(o.Seg.Playlist().Marshal())
+		if pl.Ended {
+			// A finished broadcast's playlist is final (#EXT-X-ENDLIST):
+			// edges may cache it indefinitely and stop revalidating.
+			w.Header().Set("Cache-Control", "max-age=86400, immutable")
+		} else {
+			w.Header().Set("Cache-Control", "max-age=1")
+		}
+		w.Write(pl.Marshal())
 	case strings.HasPrefix(base, "seg") && strings.HasSuffix(base, ".ts"):
 		seq, err := ParseSegmentName(base)
 		if err != nil {

@@ -1,0 +1,567 @@
+package hls
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file models the origin→edge fill path of the two-POP CDN the paper
+// observed ("all HLS streams came from two IP addresses"): a POP does not
+// hold the broadcast's segmenter, it holds a Replica that pulls playlists
+// and segments from the origin tier on demand and in the background.
+// Playlist staleness at the edge — the quantity that drives HLS join time
+// and stalling in §4/§5 — becomes an explicit, measurable property.
+
+// SegmentSource is the fill protocol a Replica pulls from: the origin's
+// live playlist and its segments. FillClient implements it over HTTP;
+// tests may supply in-process fakes.
+type SegmentSource interface {
+	FetchPlaylist(ctx context.Context) ([]byte, error)
+	FetchSegment(ctx context.Context, seq int) ([]byte, error)
+}
+
+// UpstreamError reports a non-200 origin response, preserving the status
+// so the edge can mirror 404s (expired segments) instead of masking them
+// as gateway failures.
+type UpstreamError struct {
+	Status int
+}
+
+func (e *UpstreamError) Error() string {
+	return fmt.Sprintf("hls: upstream status %d", e.Status)
+}
+
+// FillClient fetches origin data over HTTP — the POP-internal fill path.
+type FillClient struct {
+	// BaseURL is the origin directory holding playlist.m3u8 and segments.
+	BaseURL string
+	// HTTP may carry a shaped or instrumented transport; defaults to
+	// http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *FillClient) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, &UpstreamError{Status: resp.StatusCode}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// FetchPlaylist implements SegmentSource.
+func (c *FillClient) FetchPlaylist(ctx context.Context) ([]byte, error) {
+	return c.get(ctx, c.BaseURL+"/playlist.m3u8")
+}
+
+// FetchSegment implements SegmentSource.
+func (c *FillClient) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
+	return c.get(ctx, c.BaseURL+"/"+SegmentName(seq))
+}
+
+// FillWorker is a POP's background fill executor: a small pool of
+// goroutines draining a bounded job queue. Jobs block on origin HTTP
+// fetches, so more than one worker is needed or a single slow broadcast
+// would head-of-line-block every other replica's revalidation on the same
+// POP. Background work (playlist revalidation, segment prefetch) is
+// best-effort — when the queue is full the job is dropped and the demand
+// path fills synchronously instead.
+type FillWorker struct {
+	ch   chan func()
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	// Dropped counts jobs rejected because the queue was full or the
+	// worker had stopped.
+	Dropped atomic.Int64
+}
+
+// NewFillWorker starts a pool with the given queue depth and worker count.
+func NewFillWorker(depth, workers int) *FillWorker {
+	if depth <= 0 {
+		depth = 256
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	w := &FillWorker{
+		ch:   make(chan func(), depth),
+		quit: make(chan struct{}),
+	}
+	w.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go w.run()
+	}
+	return w
+}
+
+func (w *FillWorker) run() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.quit:
+			return
+		case job := <-w.ch:
+			job()
+		}
+	}
+}
+
+// Enqueue offers a job without blocking; it reports whether the job was
+// accepted.
+func (w *FillWorker) Enqueue(job func()) bool {
+	select {
+	case <-w.quit:
+		w.Dropped.Add(1)
+		return false
+	default:
+	}
+	select {
+	case w.ch <- job:
+		return true
+	default:
+		w.Dropped.Add(1)
+		return false
+	}
+}
+
+// Stop terminates the pool; queued jobs are discarded. It is idempotent
+// and returns after every worker goroutine has exited.
+func (w *FillWorker) Stop() {
+	w.once.Do(func() { close(w.quit) })
+	w.wg.Wait()
+}
+
+// ReplicaConfig tunes one edge replica.
+type ReplicaConfig struct {
+	// Source is the origin fill path (required).
+	Source SegmentSource
+	// Window is the origin playlist window size; the replica keeps
+	// Window+2 segments (the origin's own fetch horizon) and evicts older
+	// ones, so edge cache occupancy slides in lockstep with the origin.
+	Window int
+	// TargetDuration is the origin's segment target; the playlist TTL
+	// derives from it.
+	TargetDuration time.Duration
+	// PlaylistTTL is how long a cached playlist is served without
+	// revalidation. Past the TTL the edge still answers immediately from
+	// cache (stale-while-revalidate) but schedules an async refresh.
+	// Defaults to TargetDuration/2, the staleness bound a polling player
+	// effectively sees through a CDN edge.
+	PlaylistTTL time.Duration
+	// FillTimeout bounds each background origin fetch. Defaults to 5 s.
+	FillTimeout time.Duration
+	// Enqueue runs a background job (the POP's FillWorker); when nil the
+	// replica spawns a goroutine per job.
+	Enqueue func(func()) bool
+	// Now is the clock, injectable for deterministic staleness tests.
+	Now func() time.Time
+}
+
+// fillResult is one in-flight origin fetch shared by every request that
+// arrived while it was running (single-flight).
+type fillResult struct {
+	done chan struct{}
+	data []byte
+	pl   MediaPlaylist
+	err  error
+}
+
+// Replica is a POP's async cache of one broadcast: segments fill
+// origin→edge exactly once regardless of concurrent demand, the cache
+// window slides with the origin's, and playlists are served
+// stale-while-revalidate.
+type Replica struct {
+	src         SegmentSource
+	keep        int
+	ttl         time.Duration
+	fillTimeout time.Duration
+	enqueue     func(func()) bool
+	now         func() time.Time
+
+	mu       sync.Mutex
+	segs     map[int][]byte
+	maxSeq   int // highest sequence observed (stored or listed)
+	inflight map[int]*fillResult
+
+	plRaw        []byte
+	pl           MediaPlaylist
+	plFetched    time.Time
+	plInflight   *fillResult // cold-cache synchronous fetch
+	plRefreshing bool        // async revalidation scheduled/running
+	final        bool        // playlist carried #EXT-X-ENDLIST
+
+	// Counters (atomic: read by snapshots while requests are in flight).
+	fills             atomic.Int64
+	fillBytes         atomic.Int64
+	fillErrors        atomic.Int64
+	singleFlightHits  atomic.Int64
+	playlistRefreshes atomic.Int64
+	playlistBytes     atomic.Int64
+	staleServes       atomic.Int64
+	evictions         atomic.Int64
+	prefetchDropped   atomic.Int64
+}
+
+// NewReplica builds an edge replica pulling from cfg.Source.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindowSize
+	}
+	if cfg.TargetDuration <= 0 {
+		cfg.TargetDuration = DefaultSegmentTarget
+	}
+	if cfg.PlaylistTTL <= 0 {
+		cfg.PlaylistTTL = cfg.TargetDuration / 2
+	}
+	if cfg.FillTimeout <= 0 {
+		cfg.FillTimeout = 5 * time.Second
+	}
+	if cfg.Enqueue == nil {
+		cfg.Enqueue = func(job func()) bool { go job(); return true }
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Replica{
+		src:         cfg.Source,
+		keep:        cfg.Window + 2, // parity with Segmenter.maxKeep
+		ttl:         cfg.PlaylistTTL,
+		fillTimeout: cfg.FillTimeout,
+		enqueue:     cfg.Enqueue,
+		now:         cfg.Now,
+		segs:        map[int][]byte{},
+		maxSeq:      -1,
+		inflight:    map[int]*fillResult{},
+	}
+}
+
+// ReplicaStats is a point-in-time copy of a replica's fill counters.
+type ReplicaStats struct {
+	// Fills is the number of origin segment fetches; FillBytes their
+	// payload volume; FillErrors the failed ones (including expired-404s).
+	Fills, FillBytes, FillErrors int64
+	// SingleFlightHits counts requests that coalesced onto an already
+	// in-flight origin fetch instead of issuing their own.
+	SingleFlightHits int64
+	// PlaylistRefreshes counts origin playlist fetches (cold fills and
+	// revalidations); PlaylistBytes their volume.
+	PlaylistRefreshes, PlaylistBytes int64
+	// StaleServes counts playlist responses served past the TTL while a
+	// revalidation was pending — the stale-while-revalidate path.
+	StaleServes int64
+	// Evictions counts segments dropped by the sliding cache window.
+	Evictions int64
+	// PrefetchDropped counts background jobs the fill queue rejected.
+	PrefetchDropped int64
+	// CachedSegments is the current cache occupancy.
+	CachedSegments int
+	// PlaylistAge is the time since the cached playlist was fetched from
+	// origin (0 when never fetched or final): the edge's playlist lag.
+	PlaylistAge time.Duration
+	// Final reports that the cached playlist carries #EXT-X-ENDLIST.
+	Final bool
+}
+
+// Stats snapshots the replica's counters.
+func (r *Replica) Stats() ReplicaStats {
+	st := ReplicaStats{
+		Fills:             r.fills.Load(),
+		FillBytes:         r.fillBytes.Load(),
+		FillErrors:        r.fillErrors.Load(),
+		SingleFlightHits:  r.singleFlightHits.Load(),
+		PlaylistRefreshes: r.playlistRefreshes.Load(),
+		PlaylistBytes:     r.playlistBytes.Load(),
+		StaleServes:       r.staleServes.Load(),
+		Evictions:         r.evictions.Load(),
+		PrefetchDropped:   r.prefetchDropped.Load(),
+	}
+	r.mu.Lock()
+	st.CachedSegments = len(r.segs)
+	st.Final = r.final
+	if r.plRaw != nil && !r.final {
+		st.PlaylistAge = r.now().Sub(r.plFetched)
+	}
+	r.mu.Unlock()
+	return st
+}
+
+// ServeHTTP serves "playlist.m3u8" and "segNNNNNN.ts" paths (any prefix)
+// from the edge cache, filling from origin as needed.
+func (r *Replica) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	base := path[strings.LastIndexByte(path, '/')+1:]
+	switch {
+	case base == "playlist.m3u8":
+		raw, pl, err := r.Playlist(req.Context())
+		if err != nil {
+			upstreamStatus(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+		if pl.Ended {
+			w.Header().Set("Cache-Control", "max-age=86400, immutable")
+		} else {
+			w.Header().Set("Cache-Control", "max-age=1")
+		}
+		w.Write(raw)
+	case strings.HasPrefix(base, "seg") && strings.HasSuffix(base, ".ts"):
+		seq, err := ParseSegmentName(base)
+		if err != nil {
+			http.Error(w, "bad segment name", http.StatusBadRequest)
+			return
+		}
+		data, err := r.Segment(req.Context(), seq)
+		if err != nil {
+			upstreamStatus(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "video/MP2T")
+		w.Header().Set("Cache-Control", "max-age=3600")
+		w.Write(data)
+	default:
+		http.NotFound(w, req)
+	}
+}
+
+// upstreamStatus maps a fill error onto the edge response: origin 404s
+// (expired or unknown) pass through, everything else is a bad gateway.
+func upstreamStatus(w http.ResponseWriter, err error) {
+	if ue, ok := err.(*UpstreamError); ok && ue.Status == http.StatusNotFound {
+		http.Error(w, "segment or playlist not at origin", http.StatusNotFound)
+		return
+	}
+	http.Error(w, "origin fill failed", http.StatusBadGateway)
+}
+
+// Segment returns the segment's bytes, serving from cache when present
+// and otherwise filling from origin exactly once no matter how many
+// viewers ask concurrently. The fill itself runs detached from any single
+// requester's context (bounded by FillTimeout): one viewer disconnecting
+// must not fail the fetch for every coalesced waiter.
+func (r *Replica) Segment(ctx context.Context, seq int) ([]byte, error) {
+	r.mu.Lock()
+	if data, ok := r.segs[seq]; ok {
+		r.mu.Unlock()
+		return data, nil
+	}
+	f, ok := r.inflight[seq]
+	if ok {
+		r.mu.Unlock()
+		r.singleFlightHits.Add(1)
+	} else {
+		f = &fillResult{done: make(chan struct{})}
+		r.inflight[seq] = f
+		r.mu.Unlock()
+		go r.fillSegment(seq, f)
+	}
+	select {
+	case <-f.done:
+		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// fillSegment performs the detached origin fetch backing one single-flight
+// entry and publishes the result to every waiter.
+func (r *Replica) fillSegment(seq int, f *fillResult) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
+	defer cancel()
+	data, err := r.src.FetchSegment(ctx, seq)
+	r.fills.Add(1)
+	if err != nil {
+		r.fillErrors.Add(1)
+	} else {
+		r.fillBytes.Add(int64(len(data)))
+	}
+
+	r.mu.Lock()
+	delete(r.inflight, seq)
+	if err == nil {
+		r.storeSegLocked(seq, data)
+	}
+	r.mu.Unlock()
+	f.data, f.err = data, err
+	close(f.done)
+}
+
+// storeSegLocked inserts a filled segment and slides the cache window: the
+// replica keeps the same fetch horizon as the origin segmenter, so edge
+// occupancy cannot grow past window+grace however long the broadcast runs.
+func (r *Replica) storeSegLocked(seq int, data []byte) {
+	if seq <= r.maxSeq-r.keep {
+		// Already outside the window (a very late fill); do not resurrect.
+		r.evictions.Add(1)
+		return
+	}
+	r.segs[seq] = data
+	if seq > r.maxSeq {
+		r.maxSeq = seq
+	}
+	r.evictLocked()
+}
+
+func (r *Replica) evictLocked() {
+	for k := range r.segs {
+		if k <= r.maxSeq-r.keep {
+			delete(r.segs, k)
+			r.evictions.Add(1)
+		}
+	}
+}
+
+// Playlist returns the marshalled playlist and its parsed form. A cached
+// copy — fresh, stale, or final — is served immediately; staleness only
+// schedules an asynchronous revalidation (stale-while-revalidate). Only a
+// cold cache fetches synchronously, and concurrent cold requests share one
+// origin fetch.
+func (r *Replica) Playlist(ctx context.Context) ([]byte, MediaPlaylist, error) {
+	r.mu.Lock()
+	if r.plRaw != nil {
+		raw, pl := r.plRaw, r.pl
+		if !r.final && r.now().Sub(r.plFetched) > r.ttl {
+			r.staleServes.Add(1)
+			r.scheduleRefreshLocked()
+		}
+		r.mu.Unlock()
+		return raw, pl, nil
+	}
+	f := r.plInflight
+	if f != nil {
+		r.mu.Unlock()
+		r.singleFlightHits.Add(1)
+	} else {
+		f = &fillResult{done: make(chan struct{})}
+		r.plInflight = f
+		r.mu.Unlock()
+		// Detached like segment fills: the cold fetch must survive the
+		// initiating requester disconnecting.
+		go func() {
+			fctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
+			defer cancel()
+			raw, pl, err := r.fetchPlaylist(fctx)
+			r.mu.Lock()
+			r.plInflight = nil
+			if err == nil {
+				r.storePlaylistLocked(raw, pl)
+			}
+			r.mu.Unlock()
+			f.data, f.pl, f.err = raw, pl, err
+			close(f.done)
+			if err == nil {
+				r.prefetch(pl)
+			}
+		}()
+	}
+	select {
+	case <-f.done:
+		return f.data, f.pl, f.err
+	case <-ctx.Done():
+		return nil, MediaPlaylist{}, ctx.Err()
+	}
+}
+
+// fetchPlaylist pulls and parses the origin playlist, counting the fill.
+func (r *Replica) fetchPlaylist(ctx context.Context) ([]byte, MediaPlaylist, error) {
+	raw, err := r.src.FetchPlaylist(ctx)
+	r.playlistRefreshes.Add(1)
+	if err != nil {
+		r.fillErrors.Add(1)
+		return nil, MediaPlaylist{}, err
+	}
+	r.playlistBytes.Add(int64(len(raw)))
+	pl, err := ParseMediaPlaylist(raw)
+	if err != nil {
+		r.fillErrors.Add(1)
+		return nil, MediaPlaylist{}, err
+	}
+	return raw, pl, nil
+}
+
+// storePlaylistLocked installs a fetched playlist and advances the
+// eviction horizon to the newest listed sequence, so segments the edge
+// never re-fetches still age out of the cache.
+func (r *Replica) storePlaylistLocked(raw []byte, pl MediaPlaylist) {
+	r.plRaw, r.pl = raw, pl
+	r.plFetched = r.now()
+	if pl.Ended {
+		r.final = true
+	}
+	for _, s := range pl.Segments {
+		if s.Sequence > r.maxSeq {
+			r.maxSeq = s.Sequence
+		}
+	}
+	r.evictLocked()
+}
+
+// scheduleRefreshLocked queues one async revalidation; while it is
+// pending, further stale serves do not pile up more refreshes.
+func (r *Replica) scheduleRefreshLocked() {
+	if r.plRefreshing {
+		return
+	}
+	r.plRefreshing = true
+	accepted := r.enqueue(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
+		defer cancel()
+		raw, pl, err := r.fetchPlaylist(ctx)
+		r.mu.Lock()
+		r.plRefreshing = false
+		if err == nil {
+			r.storePlaylistLocked(raw, pl)
+		}
+		r.mu.Unlock()
+		if err == nil {
+			r.prefetch(pl)
+		}
+	})
+	if !accepted {
+		r.plRefreshing = false
+		r.prefetchDropped.Add(1)
+	}
+}
+
+// prefetch warms the cache with listed segments the edge does not hold
+// yet, so a viewer arriving after the refresh hits warm segments instead
+// of paying the origin round-trip.
+func (r *Replica) prefetch(pl MediaPlaylist) {
+	for _, s := range pl.Segments {
+		seq := s.Sequence
+		r.mu.Lock()
+		_, have := r.segs[seq]
+		_, filling := r.inflight[seq]
+		r.mu.Unlock()
+		if have || filling {
+			continue
+		}
+		accepted := r.enqueue(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
+			defer cancel()
+			r.Segment(ctx, seq) // single-flight dedups against demand fills
+		})
+		if !accepted {
+			r.prefetchDropped.Add(1)
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package hls
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"periscope/internal/avc"
+	"periscope/internal/media"
+)
+
+// fakeSource is an in-process origin for replica tests: it counts fetches
+// and can hold segment fills open to force request coalescing.
+type fakeSource struct {
+	mu       sync.Mutex
+	playlist []byte
+	segs     map[int][]byte
+
+	playlistFetches atomic.Int64
+	segmentFetches  atomic.Int64
+	// gate, when non-nil, blocks segment fetches until closed.
+	gate chan struct{}
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{segs: map[int][]byte{}}
+}
+
+func (s *fakeSource) setPlaylist(pl MediaPlaylist) {
+	s.mu.Lock()
+	s.playlist = pl.Marshal()
+	s.mu.Unlock()
+}
+
+func (s *fakeSource) setSegment(seq int, data []byte) {
+	s.mu.Lock()
+	s.segs[seq] = data
+	s.mu.Unlock()
+}
+
+func (s *fakeSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
+	s.playlistFetches.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.playlist == nil {
+		return nil, &UpstreamError{Status: http.StatusNotFound}
+	}
+	return append([]byte(nil), s.playlist...), nil
+}
+
+func (s *fakeSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
+	s.segmentFetches.Add(1)
+	s.mu.Lock()
+	gate := s.gate
+	data, ok := s.segs[seq]
+	s.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if !ok {
+		return nil, &UpstreamError{Status: http.StatusNotFound}
+	}
+	return data, nil
+}
+
+// jobQueue is a deterministic background executor: jobs accumulate until
+// the test runs them explicitly.
+type jobQueue struct {
+	mu   sync.Mutex
+	jobs []func()
+}
+
+func (q *jobQueue) enqueue(job func()) bool {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, job)
+	q.mu.Unlock()
+	return true
+}
+
+func (q *jobQueue) runAll() int {
+	q.mu.Lock()
+	jobs := q.jobs
+	q.jobs = nil
+	q.mu.Unlock()
+	for _, j := range jobs {
+		j()
+	}
+	return len(jobs)
+}
+
+func (q *jobQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+func (q *jobQueue) clear() {
+	q.mu.Lock()
+	q.jobs = nil
+	q.mu.Unlock()
+}
+
+func livePlaylist(seqs ...int) MediaPlaylist {
+	pl := MediaPlaylist{TargetDuration: 4}
+	if len(seqs) > 0 {
+		pl.MediaSequence = seqs[0]
+	}
+	for _, s := range seqs {
+		pl.Segments = append(pl.Segments, Segment{URI: SegmentName(s), Duration: 3.6, Sequence: s})
+	}
+	return pl
+}
+
+func TestReplicaSingleFlightSegmentFill(t *testing.T) {
+	src := newFakeSource()
+	src.setSegment(0, bytes.Repeat([]byte{0x47}, 188))
+	gate := make(chan struct{})
+	src.gate = gate
+
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{Source: src, Window: 4, Enqueue: q.enqueue})
+
+	const viewers = 100
+	var wg sync.WaitGroup
+	errs := make([]error, viewers)
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := rep.Segment(context.Background(), 0)
+			if err == nil && len(data) != 188 {
+				err = fmt.Errorf("got %d bytes", len(data))
+			}
+			errs[i] = err
+		}(i)
+	}
+	// Wait until the one origin fill is in flight and the rest have had a
+	// chance to pile onto it, then release.
+	waitUntil(t, func() bool { return src.segmentFetches.Load() == 1 })
+	waitUntil(t, func() bool { return rep.Stats().SingleFlightHits >= viewers-1 })
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("viewer %d: %v", i, err)
+		}
+	}
+	if got := src.segmentFetches.Load(); got != 1 {
+		t.Fatalf("origin saw %d segment fetches for %d viewers, want 1", got, viewers)
+	}
+	st := rep.Stats()
+	if st.Fills != 1 || st.SingleFlightHits != viewers-1 {
+		t.Errorf("stats = %+v, want 1 fill and %d single-flight hits", st, viewers-1)
+	}
+	// Subsequent requests are cache hits: still one origin fetch.
+	if _, err := rep.Segment(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.segmentFetches.Load(); got != 1 {
+		t.Errorf("cache hit still reached origin (%d fetches)", got)
+	}
+}
+
+// TestReplicaFillSurvivesInitiatorDisconnect pins the detached-fill
+// property: the viewer whose request started a single-flight fill
+// disconnecting must not fail the fetch for the coalesced waiters.
+func TestReplicaFillSurvivesInitiatorDisconnect(t *testing.T) {
+	src := newFakeSource()
+	src.setSegment(0, bytes.Repeat([]byte{0x47}, 188))
+	gate := make(chan struct{})
+	src.gate = gate
+
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{Source: src, Window: 4, Enqueue: q.enqueue})
+
+	initiatorCtx, cancelInitiator := context.WithCancel(context.Background())
+	initiatorErr := make(chan error, 1)
+	go func() {
+		_, err := rep.Segment(initiatorCtx, 0)
+		initiatorErr <- err
+	}()
+	waitUntil(t, func() bool { return src.segmentFetches.Load() == 1 })
+
+	// A second viewer coalesces, then the initiator disconnects.
+	waiterData := make(chan []byte, 1)
+	go func() {
+		data, err := rep.Segment(context.Background(), 0)
+		if err != nil {
+			t.Errorf("coalesced waiter failed: %v", err)
+		}
+		waiterData <- data
+	}()
+	waitUntil(t, func() bool { return rep.Stats().SingleFlightHits == 1 })
+	cancelInitiator()
+	if err := <-initiatorErr; err != context.Canceled {
+		t.Fatalf("initiator error = %v, want context.Canceled", err)
+	}
+
+	close(gate)
+	if data := <-waiterData; len(data) != 188 {
+		t.Fatalf("waiter got %d bytes", len(data))
+	}
+	st := rep.Stats()
+	if st.FillErrors != 0 {
+		t.Errorf("fill errors = %d after initiator disconnect, want 0", st.FillErrors)
+	}
+	if src.segmentFetches.Load() != 1 {
+		t.Errorf("origin fetches = %d, want 1", src.segmentFetches.Load())
+	}
+}
+
+func TestReplicaStaleWhileRevalidatePlaylist(t *testing.T) {
+	src := newFakeSource()
+	src.setPlaylist(livePlaylist(0))
+
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{
+		Source:         src,
+		Window:         4,
+		TargetDuration: 4 * time.Second,
+		PlaylistTTL:    2 * time.Second,
+		Enqueue:        q.enqueue,
+		Now:            clock,
+	})
+
+	// Cold cache: blocking fill.
+	raw, _, err := rep.Playlist(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.playlistFetches.Load() != 1 {
+		t.Fatalf("cold fetch count = %d", src.playlistFetches.Load())
+	}
+	// The cold fill's prefetch enqueues asynchronously; wait for it.
+	waitUntil(t, func() bool { return q.size() == 1 })
+
+	// Within TTL: cached, no origin traffic, no refresh scheduled.
+	now = now.Add(time.Second)
+	if _, _, err := rep.Playlist(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := q.runAll(); n != 1 { // only the segment prefetch from the cold fill
+		t.Fatalf("within-TTL serve queued %d jobs, want 1 (prefetch)", n)
+	}
+	if src.playlistFetches.Load() != 1 {
+		t.Errorf("within-TTL serve hit origin")
+	}
+
+	// Origin advances; edge is past TTL: the stale copy is served
+	// immediately and a revalidation is queued.
+	src.setPlaylist(livePlaylist(1, 2))
+	now = now.Add(5 * time.Second)
+	raw2, _, err := rep.Playlist(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatalf("stale serve returned new content before revalidation")
+	}
+	st := rep.Stats()
+	if st.StaleServes != 1 {
+		t.Errorf("StaleServes = %d, want 1", st.StaleServes)
+	}
+	if st.PlaylistAge != 6*time.Second {
+		t.Errorf("PlaylistAge = %v, want 6s", st.PlaylistAge)
+	}
+
+	// A second stale serve while the refresh is pending must not queue
+	// another one.
+	if _, _, err := rep.Playlist(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	q.runAll() // run the (single) revalidation + its prefetches
+	if src.playlistFetches.Load() != 2 {
+		t.Fatalf("pending revalidation deduped wrong: %d origin fetches", src.playlistFetches.Load())
+	}
+
+	// After revalidation: fresh content, age reset.
+	raw3, pl3, err := rep.Playlist(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw2, raw3) || len(pl3.Segments) != 2 {
+		t.Fatalf("revalidated playlist not installed: %s", raw3)
+	}
+	if age := rep.Stats().PlaylistAge; age != 0 {
+		t.Errorf("PlaylistAge after refresh = %v, want 0", age)
+	}
+}
+
+func TestReplicaFinalPlaylistStopsRevalidating(t *testing.T) {
+	src := newFakeSource()
+	ended := livePlaylist(3, 4)
+	ended.Ended = true
+	src.setPlaylist(ended)
+
+	now := time.Unix(1000, 0)
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{
+		Source:      src,
+		PlaylistTTL: time.Second,
+		Enqueue:     q.enqueue,
+		Now:         func() time.Time { return now },
+	})
+	if _, pl, err := rep.Playlist(context.Background()); err != nil || !pl.Ended {
+		t.Fatalf("pl=%+v err=%v", pl, err)
+	}
+	// Far past the TTL: a final playlist serves from cache forever.
+	now = now.Add(time.Hour)
+	// Wait for the cold fill's async prefetches (2 listed segments), then
+	// discard them; only refreshes matter here.
+	waitUntil(t, func() bool { return q.size() == 2 })
+	q.clear()
+	if _, _, err := rep.Playlist(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := q.runAll(); n != 0 {
+		t.Errorf("final playlist scheduled %d background jobs", n)
+	}
+	st := rep.Stats()
+	if st.StaleServes != 0 || !st.Final || st.PlaylistAge != 0 {
+		t.Errorf("stats = %+v, want final with no stale serves", st)
+	}
+	if src.playlistFetches.Load() != 1 {
+		t.Errorf("final playlist refetched (%d)", src.playlistFetches.Load())
+	}
+}
+
+// TestReplicaEvictionParity pins the edge cache window to the origin
+// segmenter's fetch horizon: window+2 segments, older ones evicted.
+func TestReplicaEvictionParity(t *testing.T) {
+	origin := NewSegmenter(DefaultSegmentTarget, 4)
+	src := newFakeSource()
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{Source: src, Window: origin.WindowSize(), Enqueue: q.enqueue})
+
+	const total = 20
+	for seq := 0; seq < total; seq++ {
+		src.setSegment(seq, []byte{byte(seq)})
+		if _, err := rep.Segment(context.Background(), seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rep.Stats()
+	if st.CachedSegments != origin.MaxKeep() {
+		t.Fatalf("edge caches %d segments, origin horizon is %d", st.CachedSegments, origin.MaxKeep())
+	}
+	if want := int64(total - origin.MaxKeep()); st.Evictions != want {
+		t.Errorf("evictions = %d, want %d", st.Evictions, want)
+	}
+	// An evicted sequence re-fills from origin rather than resurrecting.
+	before := src.segmentFetches.Load()
+	if _, err := rep.Segment(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if src.segmentFetches.Load() != before+1 {
+		t.Errorf("evicted segment did not re-fill from origin")
+	}
+}
+
+// TestReplicaPrefetchWarmsListedSegments verifies that a playlist fill
+// schedules background fills for the segments it lists.
+func TestReplicaPrefetchWarmsListedSegments(t *testing.T) {
+	src := newFakeSource()
+	src.setPlaylist(livePlaylist(5, 6, 7))
+	for seq := 5; seq <= 7; seq++ {
+		src.setSegment(seq, []byte{byte(seq)})
+	}
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{Source: src, Enqueue: q.enqueue})
+	if _, _, err := rep.Playlist(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	q.runAll()
+	if st := rep.Stats(); st.CachedSegments != 3 || st.Fills != 3 {
+		t.Fatalf("prefetch stats = %+v, want 3 cached/3 fills", st)
+	}
+	// Demand for a prefetched segment is a pure cache hit.
+	before := src.segmentFetches.Load()
+	if _, err := rep.Segment(context.Background(), 6); err != nil {
+		t.Fatal(err)
+	}
+	if src.segmentFetches.Load() != before {
+		t.Errorf("prefetched segment refetched on demand")
+	}
+}
+
+func TestReplicaServeHTTPOverOriginHTTP(t *testing.T) {
+	seg := NewSegmenter(500*time.Millisecond, 4)
+	feedSegmenterFor(t, seg, 4*time.Second)
+	seg.Finish(time.Unix(3000, 0))
+	origin := httptest.NewServer(&Origin{Seg: seg})
+	defer origin.Close()
+
+	w := NewFillWorker(64, 4)
+	defer w.Stop()
+	rep := NewReplica(ReplicaConfig{
+		Source:  &FillClient{BaseURL: origin.URL},
+		Window:  seg.WindowSize(),
+		Enqueue: w.Enqueue,
+	})
+	edge := httptest.NewServer(rep)
+	defer edge.Close()
+
+	resp, err := http.Get(edge.URL + "/playlist.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := readPlaylist(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Ended {
+		t.Fatal("edge playlist for finished broadcast lacks ENDLIST")
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "max-age=86400, immutable" {
+		t.Errorf("final playlist Cache-Control = %q", cc)
+	}
+	for _, s := range pl.Segments {
+		r2, err := http.Get(edge.URL + "/" + s.URI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("segment %s status %d", s.URI, r2.StatusCode)
+		}
+		r2.Body.Close()
+	}
+	// Expired/unknown sequences surface the origin's 404, not a 502.
+	r3, err := http.Get(edge.URL + "/" + SegmentName(9999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusNotFound {
+		t.Errorf("missing segment status = %d, want 404", r3.StatusCode)
+	}
+}
+
+func TestFillWorkerDropsWhenSaturated(t *testing.T) {
+	w := NewFillWorker(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !w.Enqueue(func() { close(started); <-block }) {
+		t.Fatal("first job rejected")
+	}
+	<-started
+	if !w.Enqueue(func() {}) { // fills the queue slot
+		t.Fatal("queued job rejected")
+	}
+	if w.Enqueue(func() {}) {
+		t.Error("saturated queue accepted a job")
+	}
+	if w.Dropped.Load() != 1 {
+		t.Errorf("Dropped = %d, want 1", w.Dropped.Load())
+	}
+	close(block)
+	w.Stop()
+	if w.Enqueue(func() {}) {
+		t.Error("stopped worker accepted a job")
+	}
+}
+
+// feedSegmenterFor pushes a synthetic stream into an existing segmenter
+// (like feedSegmenter, but without Finish, so callers control the end).
+func feedSegmenterFor(t *testing.T, seg *Segmenter, streamDur time.Duration) {
+	t.Helper()
+	cfg := media.DefaultEncoderConfig()
+	cfg.DropProb = 0
+	enc := media.NewEncoder(cfg, time.Unix(1000, 0))
+	interval := enc.FrameInterval()
+	now := time.Unix(2000, 0)
+	for pts := time.Duration(0); pts < streamDur; pts += interval {
+		f := enc.NextFrame()
+		seg.WriteVideo(now.Add(f.PTS), f.PTS, f.DTS, f.Keyframe, avc.MarshalAnnexB(f.NALs))
+	}
+}
+
+func readPlaylist(resp *http.Response) (MediaPlaylist, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return MediaPlaylist{}, err
+	}
+	return ParseMediaPlaylist(buf.Bytes())
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

@@ -184,6 +184,25 @@ func (s *Segmenter) SegmentCount() int {
 	return s.seq
 }
 
+// Ended reports whether Finish has been called: the playlist is final and
+// no further segments will appear.
+func (s *Segmenter) Ended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// WindowSize returns the live playlist window size.
+func (s *Segmenter) WindowSize() int { return s.windowSize }
+
+// MaxKeep returns the fetchable-segment horizon (window plus grace):
+// segments older than the newest minus MaxKeep are expired. Edge replicas
+// size their caches to this so eviction stays in lockstep with the origin.
+func (s *Segmenter) MaxKeep() int { return s.maxKeep }
+
+// Target returns the target segment duration.
+func (s *Segmenter) Target() time.Duration { return s.target }
+
 // SegmentName formats the canonical URI for a sequence number.
 func SegmentName(seq int) string { return fmt.Sprintf("seg%06d.ts", seq) }
 

@@ -1,30 +1,182 @@
 package service
 
 import (
+	"context"
 	"io"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"periscope/internal/hls"
 )
 
+// The CDN is modelled as two tiers, matching the paper's observation that
+// HLS always came from two Fastly IPs while 87 RTMP servers were seen:
+//
+//   - an origin tier holding one hls.Origin per popular broadcast (the
+//     "transcode, repackage and deliver to Fastly" output), and
+//   - edge POPs, each holding an hls.Replica per broadcast that fills
+//     segments origin→POP asynchronously (single-flight per segment,
+//     sliding-window cache) and serves stale-while-revalidate playlists.
+//
+// Edge playlist lag is therefore a real, measurable quantity instead of a
+// pointer-sharing fiction; fills, coalesced requests, staleness and
+// evictions surface in the service snapshot.
+
+// cdnDrainTimeout bounds the graceful drain of a POP's HTTP server at
+// shutdown: in-flight segment responses get this long to complete before
+// connections are dropped.
+const cdnDrainTimeout = 3 * time.Second
+
+// popFillQueueDepth bounds each POP's background fill queue (playlist
+// revalidations and segment prefetches across all of its replicas).
+const popFillQueueDepth = 1024
+
+// popFillWorkers is the per-POP fill pool size: fill jobs block on origin
+// HTTP fetches, so a few run in parallel or one slow broadcast would
+// head-of-line-block every other replica's revalidation.
+const popFillWorkers = 8
+
+// originTier serves every registered broadcast's playlist and segments to
+// the POPs — the single fill source of the CDN.
+type originTier struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu      sync.RWMutex
+	origins map[string]*hls.Origin
+
+	// Requests and Bytes count fill traffic served to the POPs;
+	// PlaylistRequests/SegmentRequests split it by kind (the single-flight
+	// tests pin SegmentRequests to one per segment however many viewers
+	// fan in at the edge).
+	Requests         atomic.Int64
+	Bytes            atomic.Int64
+	PlaylistRequests atomic.Int64
+	SegmentRequests  atomic.Int64
+}
+
+func newOriginTier() (*originTier, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	o := &originTier{ln: ln, origins: map[string]*hls.Origin{}}
+	o.srv = &http.Server{Handler: o}
+	go o.srv.Serve(ln)
+	return o, nil
+}
+
+func (o *originTier) baseURL() string { return "http://" + o.ln.Addr().String() }
+
+// register mounts a broadcast's segmenter at /hls/<id>/. Re-registering
+// the same segmenter is a no-op; a different segmenter replaces the mount
+// (a broadcast re-going-live during an unregister linger must win over
+// its ended predecessor).
+func (o *originTier) register(id string, seg *hls.Segmenter) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if cur, ok := o.origins[id]; ok && cur.Seg == seg {
+		return
+	}
+	o.origins[id] = &hls.Origin{Seg: seg}
+}
+
+// unregister removes the broadcast — but only if it is still backed by
+// seg, so a lingering end-timer cannot tear down a re-registered live
+// broadcast. A nil seg unregisters unconditionally.
+func (o *originTier) unregister(id string, seg *hls.Segmenter) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if cur, ok := o.origins[id]; ok && (seg == nil || cur.Seg == seg) {
+		delete(o.origins, id)
+	}
+}
+
+func (o *originTier) has(id string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.origins[id]
+	return ok
+}
+
+func (o *originTier) count() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.origins)
+}
+
+// ServeHTTP routes /hls/<broadcastID>/<file> to the broadcast's origin.
+func (o *originTier) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	o.Requests.Add(1)
+	id, file, ok := splitHLSPath(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	o.mu.RLock()
+	origin := o.origins[id]
+	o.mu.RUnlock()
+	if origin == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if file == "playlist.m3u8" {
+		o.PlaylistRequests.Add(1)
+	} else {
+		o.SegmentRequests.Add(1)
+	}
+	cw := &countingWriter{ResponseWriter: w}
+	origin.ServeHTTP(cw, r)
+	o.Bytes.Add(cw.n)
+}
+
+func (o *originTier) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), cdnDrainTimeout)
+	defer cancel()
+	if o.srv.Shutdown(ctx) != nil {
+		o.srv.Close()
+	}
+}
+
+// splitHLSPath parses "/hls/<id>/<file>".
+func splitHLSPath(path string) (id, file string, ok bool) {
+	rest := strings.TrimPrefix(path, "/hls/")
+	slash := strings.IndexByte(rest, '/')
+	if rest == path || slash < 0 {
+		return "", "", false
+	}
+	return rest[:slash], rest[slash+1:], true
+}
+
 // cdnPOP is one CDN edge (the study saw exactly two HLS delivery IPs,
-// "located somewhere in Europe and in San Francisco").
+// "located somewhere in Europe and in San Francisco"). Each registered
+// broadcast is an hls.Replica filling from the origin tier; one fill
+// worker per POP runs the background revalidations and prefetches.
 type cdnPOP struct {
 	svc   *Service
 	index int
 	ln    net.Listener
 	srv   *http.Server
+	fill  *hls.FillWorker
 
-	mu      sync.RWMutex
-	origins map[string]*hls.Origin
+	mu       sync.RWMutex
+	replicas map[string]popReplica
 
-	// Requests and Bytes count served traffic.
+	// Requests and Bytes count traffic served to viewers.
 	Requests atomic.Int64
 	Bytes    atomic.Int64
+}
+
+// popReplica pairs an edge replica with the origin segmenter it was
+// registered for, so conditional unregistration (end-linger timers) can
+// tell an ended broadcast's replica from a re-registered live one.
+type popReplica struct {
+	seg *hls.Segmenter
+	rep *hls.Replica
 }
 
 func newCDNPOP(svc *Service, index int) (*cdnPOP, error) {
@@ -32,7 +184,13 @@ func newCDNPOP(svc *Service, index int) (*cdnPOP, error) {
 	if err != nil {
 		return nil, err
 	}
-	pop := &cdnPOP{svc: svc, index: index, ln: ln, origins: map[string]*hls.Origin{}}
+	pop := &cdnPOP{
+		svc:      svc,
+		index:    index,
+		ln:       ln,
+		fill:     hls.NewFillWorker(popFillQueueDepth, popFillWorkers),
+		replicas: map[string]popReplica{},
+	}
 	pop.srv = &http.Server{Handler: pop}
 	go pop.srv.Serve(ln)
 	return pop, nil
@@ -40,45 +198,115 @@ func newCDNPOP(svc *Service, index int) (*cdnPOP, error) {
 
 func (p *cdnPOP) baseURL() string { return "http://" + p.ln.Addr().String() }
 
-// register exposes a broadcast's segmenter at /hls/<id>/.
+// register exposes a broadcast at /hls/<id>/ through an edge replica
+// pulling from the origin tier. Re-registering the same segmenter keeps
+// the warm replica; a different segmenter (broadcast re-went live during
+// a linger) replaces it with a cold one. The replica's cache window and
+// playlist TTL derive from the origin segmenter's parameters.
 func (p *cdnPOP) register(id string, seg *hls.Segmenter) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.origins[id] = &hls.Origin{Seg: seg}
+	if cur, ok := p.replicas[id]; ok && cur.seg == seg {
+		return
+	}
+	p.replicas[id] = popReplica{
+		seg: seg,
+		rep: hls.NewReplica(hls.ReplicaConfig{
+			Source:         &hls.FillClient{BaseURL: p.svc.origin.baseURL() + "/hls/" + id},
+			Window:         seg.WindowSize(),
+			TargetDuration: seg.Target(),
+			Enqueue:        p.fill.Enqueue,
+		}),
+	}
 }
 
-// has reports whether an origin is registered for id.
+// unregister drops the broadcast's replica (and its cached segments) —
+// but only if it still serves seg; nil unregisters unconditionally.
+func (p *cdnPOP) unregister(id string, seg *hls.Segmenter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cur, ok := p.replicas[id]; ok && (seg == nil || cur.seg == seg) {
+		delete(p.replicas, id)
+	}
+}
+
+// has reports whether a replica is registered for id.
 func (p *cdnPOP) has(id string) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	_, ok := p.origins[id]
+	_, ok := p.replicas[id]
 	return ok
 }
 
-// ServeHTTP routes /hls/<broadcastID>/<file> to the broadcast's origin.
+// replica returns the broadcast's edge cache (tests, snapshot).
+func (p *cdnPOP) replica(id string) *hls.Replica {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.replicas[id].rep
+}
+
+// ServeHTTP routes /hls/<broadcastID>/<file> to the broadcast's replica.
 func (p *cdnPOP) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.Requests.Add(1)
-	path := strings.TrimPrefix(r.URL.Path, "/hls/")
-	slash := strings.IndexByte(path, '/')
-	if slash < 0 {
+	id, _, ok := splitHLSPath(r.URL.Path)
+	if !ok {
 		http.NotFound(w, r)
 		return
 	}
-	id := path[:slash]
 	p.mu.RLock()
-	origin := p.origins[id]
+	rep := p.replicas[id].rep
 	p.mu.RUnlock()
-	if origin == nil {
+	if rep == nil {
 		http.NotFound(w, r)
 		return
 	}
 	cw := &countingWriter{ResponseWriter: w}
-	origin.ServeHTTP(cw, r)
+	rep.ServeHTTP(cw, r)
 	p.Bytes.Add(cw.n)
 }
 
+// close drains the POP gracefully: in-flight segment responses complete
+// (up to cdnDrainTimeout) instead of being cut mid-body, then the fill
+// worker stops.
 func (p *cdnPOP) close() {
-	p.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), cdnDrainTimeout)
+	defer cancel()
+	if p.srv.Shutdown(ctx) != nil {
+		p.srv.Close()
+	}
+	p.fill.Stop()
+}
+
+// stats aggregates the POP's counters and its replicas' fill metrics.
+func (p *cdnPOP) stats() POPSnapshot {
+	st := POPSnapshot{
+		Index:    p.index,
+		Requests: p.Requests.Load(),
+		Bytes:    p.Bytes.Load(),
+	}
+	p.mu.RLock()
+	reps := make([]*hls.Replica, 0, len(p.replicas))
+	for _, e := range p.replicas {
+		reps = append(reps, e.rep)
+	}
+	p.mu.RUnlock()
+	st.Broadcasts = len(reps)
+	st.FillQueueDropped = p.fill.Dropped.Load()
+	for _, rep := range reps {
+		rs := rep.Stats()
+		st.Fills += rs.Fills
+		st.FillBytes += rs.FillBytes
+		st.FillErrors += rs.FillErrors
+		st.SingleFlightHits += rs.SingleFlightHits
+		st.PlaylistRefreshes += rs.PlaylistRefreshes
+		st.StaleServes += rs.StaleServes
+		st.Evictions += rs.Evictions
+		st.CachedSegments += rs.CachedSegments
+		if rs.PlaylistAge > st.MaxPlaylistAge {
+			st.MaxPlaylistAge = rs.PlaylistAge
+		}
+	}
+	return st
 }
 
 // countingWriter counts bytes served without masking the wrapped

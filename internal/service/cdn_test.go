@@ -1,12 +1,490 @@
 package service
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"periscope/internal/api"
+	"periscope/internal/avc"
+	"periscope/internal/hls"
+	"periscope/internal/media"
 )
+
+// newTestCDN builds a standalone origin tier plus one POP, without the
+// rest of the service (no API, ingest, chat).
+func newTestCDN(t testing.TB) (*Service, *cdnPOP) {
+	t.Helper()
+	origin, err := newOriginTier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &Service{cfg: DefaultConfig(), origin: origin}
+	pop, err := newCDNPOP(svc, 0)
+	if err != nil {
+		origin.close()
+		t.Fatal(err)
+	}
+	svc.cdn = []*cdnPOP{pop}
+	t.Cleanup(func() {
+		pop.close()
+		origin.close()
+	})
+	return svc, pop
+}
+
+// buildSegments renders a synthetic stream into a fresh segmenter.
+func buildSegments(streamDur, target time.Duration, bitrate int, finish bool) *hls.Segmenter {
+	seg := hls.NewSegmenter(target, hls.DefaultWindowSize)
+	cfg := media.DefaultEncoderConfig()
+	cfg.DropProb = 0
+	if bitrate > 0 {
+		cfg.TargetBitrate = bitrate
+	}
+	enc := media.NewEncoder(cfg, time.Unix(1000, 0))
+	interval := enc.FrameInterval()
+	now := time.Unix(2000, 0)
+	for pts := time.Duration(0); pts < streamDur; pts += interval {
+		f := enc.NextFrame()
+		seg.WriteVideo(now.Add(f.PTS), f.PTS, f.DTS, f.Keyframe, avc.MarshalAnnexB(f.NALs))
+	}
+	if finish {
+		seg.Finish(now.Add(streamDur))
+	}
+	return seg
+}
+
+// TestPOPSingleFlightFanIn pins the tentpole's core property: N viewers
+// fanning in on one POP for the same segment produce exactly one
+// origin fill per segment.
+func TestPOPSingleFlightFanIn(t *testing.T) {
+	svc, pop := newTestCDN(t)
+	seg := buildSegments(6*time.Second, 800*time.Millisecond, 0, true)
+	svc.origin.register("cast", seg)
+	pop.register("cast", seg)
+
+	pl := seg.Playlist()
+	if len(pl.Segments) == 0 {
+		t.Fatal("no segments produced")
+	}
+	const viewers = 100
+	for _, s := range pl.Segments {
+		var wg sync.WaitGroup
+		for i := 0; i < viewers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodGet, "/hls/cast/"+s.URI, nil)
+				pop.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("segment %s status %d", s.URI, rec.Code)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if got, want := svc.origin.SegmentRequests.Load(), int64(len(pl.Segments)); got != want {
+		t.Fatalf("origin saw %d segment fetches for %d segments × %d viewers, want %d",
+			got, len(pl.Segments), viewers, want)
+	}
+	st := pop.stats()
+	if st.Fills != int64(len(pl.Segments)) {
+		t.Errorf("POP fills = %d, want %d", st.Fills, len(pl.Segments))
+	}
+	if st.SingleFlightHits == 0 {
+		t.Error("no single-flight hits recorded under 100-way fan-in")
+	}
+	if st.FillBytes == 0 {
+		t.Error("fill bytes not accounted")
+	}
+}
+
+// TestPOPPlaylistServedFromEdgeCache verifies the stale-while-revalidate
+// policy at the service layer: repeated playlist polls within the TTL are
+// absorbed by the edge, not forwarded to origin.
+func TestPOPPlaylistServedFromEdgeCache(t *testing.T) {
+	svc, pop := newTestCDN(t)
+	seg := buildSegments(6*time.Second, 800*time.Millisecond, 0, false)
+	svc.origin.register("cast", seg)
+	pop.register("cast", seg)
+
+	fetch := func() int {
+		rec := httptest.NewRecorder()
+		pop.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/hls/cast/playlist.m3u8", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("playlist status %d", rec.Code)
+		}
+		return rec.Body.Len()
+	}
+	// Burst of polls well inside the TTL (target/2 = 400ms): one origin
+	// fetch serves them all.
+	for i := 0; i < 20; i++ {
+		fetch()
+	}
+	if got := svc.origin.PlaylistRequests.Load(); got != 1 {
+		t.Fatalf("origin saw %d playlist fetches for 20 edge polls within TTL, want 1", got)
+	}
+	// Past the TTL the next poll is still served instantly from cache and
+	// triggers one async revalidation.
+	time.Sleep(500 * time.Millisecond)
+	fetch()
+	waitFor(t, func() bool { return svc.origin.PlaylistRequests.Load() == 2 }, "async revalidation")
+	if st := pop.stats(); st.StaleServes == 0 {
+		t.Error("stale serve not recorded")
+	}
+}
+
+// TestEndBroadcastUnregistersOrigins is the leak regression: ending a
+// broadcast must remove its origin and every POP replica (no linger).
+func TestEndBroadcastUnregistersOrigins(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopConfig.TargetConcurrent = 120
+	cfg.SegmentTarget = 800 * time.Millisecond
+	cfg.CDNUnregisterLinger = 0
+	svc, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cli := api.NewClient(svc.APIBaseURL(), "s1", nil)
+	b := pickBroadcast(t, svc, true)
+	if _, err := cli.AccessVideo(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	h := svc.hubFor(b.ID)
+	if h == nil || !svc.origin.has(b.ID) {
+		t.Fatal("broadcast not registered at origin tier after AccessVideo")
+	}
+	for _, pop := range svc.cdn {
+		if !pop.has(b.ID) {
+			t.Fatal("broadcast not registered at POP after AccessVideo")
+		}
+	}
+	seg := h.Segmenter()
+
+	svc.EndBroadcast(b.ID)
+
+	if svc.hubFor(b.ID) != nil {
+		t.Error("hub still routed after EndBroadcast")
+	}
+	if !seg.Ended() {
+		t.Error("segmenter not finished on broadcast end")
+	}
+	if svc.origin.has(b.ID) {
+		t.Error("origin tier still holds the ended broadcast")
+	}
+	for i, pop := range svc.cdn {
+		if pop.has(b.ID) {
+			t.Errorf("POP %d still holds the ended broadcast's replica", i)
+		}
+	}
+	if svc.origin.count() != 0 {
+		t.Errorf("origin tier count = %d after end, want 0", svc.origin.count())
+	}
+}
+
+// TestEndBroadcastLingerSparesRelaunchedBroadcast covers the
+// re-registration race: a broadcast accessed again during the unregister
+// linger re-registers a fresh segmenter, which must replace the ended
+// mounts — and the stale linger timer must not tear the live mounts down.
+func TestEndBroadcastLingerSparesRelaunchedBroadcast(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopConfig.TargetConcurrent = 120
+	cfg.SegmentTarget = 800 * time.Millisecond
+	cfg.CDNUnregisterLinger = 200 * time.Millisecond
+	svc, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cli := api.NewClient(svc.APIBaseURL(), "s1", nil)
+	b := pickBroadcast(t, svc, true)
+	if _, err := cli.AccessVideo(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	oldSeg := svc.hubFor(b.ID).Segmenter()
+	svc.EndBroadcast(b.ID)
+
+	// The broadcast is still live in the population; the next access
+	// relaunches the pipeline with a fresh segmenter during the linger.
+	if _, err := cli.AccessVideo(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	newSeg := svc.hubFor(b.ID).Segmenter()
+	if newSeg == nil || newSeg == oldSeg {
+		t.Fatalf("relaunch did not build a fresh segmenter (old=%p new=%p)", oldSeg, newSeg)
+	}
+
+	// After the linger timer fires, the relaunched broadcast must still be
+	// registered everywhere and serve a live (non-ended) playlist.
+	time.Sleep(400 * time.Millisecond)
+	if !svc.origin.has(b.ID) {
+		t.Fatal("linger timer unregistered the relaunched broadcast from origin")
+	}
+	for i, pop := range svc.cdn {
+		if !pop.has(b.ID) {
+			t.Fatalf("linger timer unregistered the relaunched broadcast from POP %d", i)
+		}
+	}
+	pop := svc.cdn[int(fnv32(b.ID))%len(svc.cdn)]
+	rec := httptest.NewRecorder()
+	pop.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/hls/"+b.ID+"/playlist.m3u8", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("playlist status %d after relaunch", rec.Code)
+	}
+	pl, err := hls.ParseMediaPlaylist(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Ended {
+		t.Fatal("relaunched broadcast serves the ended predecessor's playlist")
+	}
+	if n := timersPending(svc); n != 0 {
+		t.Errorf("%d fired linger timers still tracked, want 0", n)
+	}
+}
+
+// timersPending counts tracked end-linger timers (fired ones must have
+// removed themselves).
+func timersPending(s *Service) int {
+	s.timerMu.Lock()
+	defer s.timerMu.Unlock()
+	return len(s.endTimers)
+}
+
+// TestEndBroadcastServesFinalPlaylistDuringLinger verifies the viewer-side
+// ENDLIST semantics: with a linger configured, a viewer polling the POP
+// after the broadcast ends receives the final playlist instead of
+// spinning (or 404ing) forever.
+func TestEndBroadcastServesFinalPlaylistDuringLinger(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopConfig.TargetConcurrent = 120
+	cfg.SegmentTarget = 800 * time.Millisecond
+	cfg.CDNUnregisterLinger = time.Minute // longer than the test
+	svc, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cli := api.NewClient(svc.APIBaseURL(), "s1", nil)
+	b := pickBroadcast(t, svc, true)
+	acc, err := cli.AccessVideo(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one segment land, and warm the edge playlist cache.
+	h := svc.hubFor(b.ID)
+	waitFor(t, func() bool { return h.Segmenter().SegmentCount() >= 1 }, "first segment")
+	if _, err := http.Get(acc.HLSBaseURL + "/playlist.m3u8"); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.EndBroadcast(b.ID)
+
+	// The edge revalidates past its TTL and picks up the final playlist.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(acc.HLSBaseURL + "/playlist.m3u8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("playlist status %d during linger", resp.StatusCode)
+		}
+		pl, err := hls.ParseMediaPlaylist(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Ended {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("edge playlist never went final after EndBroadcast")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestPOPShutdownDrainsInflight covers the teardown regression: closing a
+// POP must not hard-drop an in-flight segment response mid-body. A slow
+// reader keeps a large response in flight while close() runs; with
+// graceful Shutdown the body completes.
+func TestPOPShutdownDrainsInflight(t *testing.T) {
+	svc, pop := newTestCDN(t)
+	// One very large segment (tens of MB) so the response cannot hide in
+	// loopback socket buffers: the handler is still writing when close()
+	// runs, and only a graceful drain lets it finish.
+	seg := buildSegments(4*time.Minute, time.Hour, 2_000_000, true)
+	s0, ok := seg.Segment(0)
+	if !ok || len(s0.Data) < 16*1024*1024 {
+		t.Fatalf("test segment too small (%d bytes)", len(s0.Data))
+	}
+	svc.origin.register("big", seg)
+	pop.register("big", seg)
+
+	resp, err := http.Get(pop.baseURL() + "/hls/big/" + hls.SegmentName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read a little, then start the POP teardown while the rest of the
+	// body is still streaming.
+	buf := make([]byte, 32*1024)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		pop.close()
+		close(closed)
+	}()
+	// Keep reading slowly (but well within the drain deadline): a paced
+	// trickle for a while, then drain the rest.
+	total := len(buf)
+	for i := 0; i < 20; i++ {
+		time.Sleep(10 * time.Millisecond)
+		n, err := resp.Body.Read(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("response truncated after %d of %d bytes: %v", total, len(s0.Data), err)
+		}
+	}
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("response truncated after %d of %d bytes: %v", total+len(rest), len(s0.Data), err)
+	}
+	total += len(rest)
+	if total != len(s0.Data) {
+		t.Fatalf("read %d bytes, want %d", total, len(s0.Data))
+	}
+	<-closed
+}
+
+// TestSnapshotSurfacesFillAndDeliveryMetrics exercises Service.Snapshot
+// end to end: CDN fill counters and shard-level delivery counters appear.
+func TestSnapshotSurfacesFillAndDeliveryMetrics(t *testing.T) {
+	svc, pop := newTestCDN(t)
+	seg := buildSegments(6*time.Second, 800*time.Millisecond, 0, true)
+	svc.origin.register("cast", seg)
+	pop.register("cast", seg)
+
+	rec := httptest.NewRecorder()
+	pop.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/hls/cast/playlist.m3u8", nil))
+	pl := seg.Playlist()
+	rec = httptest.NewRecorder()
+	pop.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/hls/cast/"+pl.Segments[0].URI, nil))
+
+	// Fold in some fan-out counters via the ended-hub aggregate.
+	var c deliveryCounters
+	c.drops.Add(7)
+	c.resyncs.Add(3)
+	c.hopeless.Add(1)
+	svc.endedDelivery.add(&c)
+
+	snap := svc.Snapshot()
+	if snap.Origin.Broadcasts != 1 || snap.Origin.SegmentRequests == 0 {
+		t.Errorf("origin snapshot = %+v", snap.Origin)
+	}
+	if len(snap.POPs) != 1 {
+		t.Fatalf("POP snapshots = %d, want 1", len(snap.POPs))
+	}
+	ps := snap.POPs[0]
+	if ps.Fills == 0 || ps.FillBytes == 0 || ps.PlaylistRefreshes == 0 || ps.CachedSegments == 0 {
+		t.Errorf("POP snapshot missing fill metrics: %+v", ps)
+	}
+	if ps.Requests != 2 {
+		t.Errorf("POP requests = %d, want 2", ps.Requests)
+	}
+	d := snap.Delivery
+	if d.Drops != 7 || d.Resyncs != 3 || d.HopelessDisconnects != 1 {
+		t.Errorf("delivery snapshot = %+v", d)
+	}
+}
+
+// discardResponseWriter is a minimal ResponseWriter for benchmarks: it
+// throws the body away without the buffering a Recorder would do.
+type discardResponseWriter struct {
+	h    http.Header
+	code int
+	n    int64
+}
+
+func (w *discardResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = http.Header{}
+	}
+	return w.h
+}
+
+func (w *discardResponseWriter) WriteHeader(code int) { w.code = code }
+
+func (w *discardResponseWriter) Write(b []byte) (int, error) {
+	w.n += int64(len(b))
+	return len(b), nil
+}
+
+// BenchmarkPOPFill measures the fan-in path of the replicated CDN: V
+// concurrent viewers request the same (cold) segment from one POP, which
+// fills it from origin exactly once over HTTP and serves the rest from
+// cache. Per iteration the replica is re-registered cold, so every op
+// contains one origin fill plus V-1 coalesced/cached serves.
+func BenchmarkPOPFill(b *testing.B) {
+	for _, viewers := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("viewers=%d", viewers), func(b *testing.B) {
+			svc, pop := newTestCDN(b)
+			seg := buildSegments(6*time.Second, 800*time.Millisecond, 0, true)
+			svc.origin.register("bench", seg)
+			pl := seg.Playlist()
+			uri := "/hls/bench/" + pl.Segments[0].URI
+			segBytes := 0
+			if s, ok := seg.Segment(pl.Segments[0].Sequence); ok {
+				segBytes = len(s.Data)
+			}
+
+			before := svc.origin.SegmentRequests.Load()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pop.unregister("bench", nil)
+				pop.register("bench", seg)
+				var wg sync.WaitGroup
+				for v := 0; v < viewers; v++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						w := &discardResponseWriter{}
+						pop.ServeHTTP(w, httptest.NewRequest(http.MethodGet, uri, nil))
+						if w.n == 0 {
+							b.Error("empty segment response")
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			fills := svc.origin.SegmentRequests.Load() - before
+			b.ReportMetric(float64(fills)/float64(b.N), "origin-fills/op")
+			b.SetBytes(int64(segBytes * viewers))
+		})
+	}
+}
 
 // TestCountingWriterPassthrough covers the capability-masking regression:
 // wrapping a ResponseWriter to count bytes must not hide http.Flusher or

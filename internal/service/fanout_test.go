@@ -174,6 +174,12 @@ func TestHopelessViewerClosedOnce(t *testing.T) {
 	if n := h.ViewerCount(); n != 0 {
 		t.Fatalf("hopeless viewer still attached (count %d)", n)
 	}
+	if got := h.stats.hopeless.Load(); got != 1 {
+		t.Errorf("hopeless disconnect counter = %d, want 1", got)
+	}
+	if h.stats.drops.Load() < viewerMaxDrops {
+		t.Errorf("drop counter = %d, want ≥ %d", h.stats.drops.Load(), viewerMaxDrops)
+	}
 	// Old behaviour re-Closed on every later message; these must not.
 	for i := 0; i < 32; i++ {
 		pushMedia(h, tag, uint32((total+i)*33))
@@ -256,7 +262,11 @@ func TestKeyframeResyncAcrossShards(t *testing.T) {
 
 	// At the next keyframe every shard must resync: headers re-sent, then
 	// the keyframe, as the last three queued messages.
+	resyncsBefore := h.stats.resyncs.Load()
 	pushMedia(h, keyframeTag(64), 9999)
+	if got := h.stats.resyncs.Load() - resyncsBefore; got != int64(len(viewers)) {
+		t.Errorf("resync counter advanced by %d, want %d", got, len(viewers))
+	}
 	hd := h.seqHdrs.Load()
 	for i, v := range viewers {
 		v.shard.mu.Lock()

@@ -371,12 +371,17 @@ func (sh *fanoutShard) deliver(m shardMsg) {
 					}
 				}
 				v.needSeq = false
+				// Count only drop-induced resyncs (needSeq is set by the
+				// drop path), not every viewer's initial join sync — the
+				// metric reads as drop-recovery churn in the snapshot.
+				sh.h.stats.resyncs.Add(1)
 			}
 			v.waiting = false
 		}
 		m.sp.Retain()
 		if v.enqueue(outMsg{typeID: m.typeID, timestamp: m.timestamp, payload: m.sp.Bytes(), ref: m.sp}) {
 			v.dropped++
+			sh.h.stats.drops.Add(1)
 			// A dropped message may have been video (or the sequence
 			// headers), leaving the decoder mid-GOP: hold this viewer
 			// until the next keyframe and refresh its headers there.
@@ -395,6 +400,7 @@ func (sh *fanoutShard) deliver(m shardMsg) {
 				v.stop()
 				v.drain()
 				sh.h.forget(v.conn)
+				sh.h.stats.hopeless.Add(1)
 			}
 		}
 	}
@@ -492,6 +498,11 @@ type hub struct {
 	seqHdrs atomic.Pointer[seqHeaders]
 	seg     atomic.Pointer[hls.Segmenter]
 	feed    atomic.Pointer[hlsFeed]
+
+	// stats are the shard-level delivery counters (drops, resyncs,
+	// hopeless disconnects), folded into the service aggregate when the
+	// broadcast ends.
+	stats deliveryCounters
 
 	mu      sync.Mutex
 	byConn  map[*rtmp.ServerConn]*viewerState
@@ -790,8 +801,9 @@ func feedSegmenter(seg *hls.Segmenter, typeID uint8, timestamp uint32, payload [
 	}
 }
 
-// enableHLS attaches a segmenter (with its feed worker) and registers the
-// broadcast with every CDN POP (idempotent).
+// enableHLS attaches a segmenter (with its feed worker), mounts it at the
+// CDN origin tier, and registers an edge replica with every POP
+// (idempotent).
 func (h *hub) enableHLS() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -802,6 +814,7 @@ func (h *hub) enableHLS() error {
 		return fmt.Errorf("service: broadcast %s ended", h.b.ID)
 	}
 	seg := hls.NewSegmenter(h.svc.cfg.SegmentTarget, hls.DefaultWindowSize)
+	h.svc.origin.register(h.b.ID, seg)
 	for _, pop := range h.svc.cdn {
 		pop.register(h.b.ID, seg)
 	}

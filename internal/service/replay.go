@@ -29,6 +29,7 @@ func (s *Service) replayAccess(b *broadcastmodel.Broadcast) (api.AccessVideoResp
 	pop := s.cdn[int(fnv32(b.ID))%len(s.cdn)]
 	if !pop.has(key) {
 		seg := buildReplay(b, s.cfg.SegmentTarget)
+		s.origin.register(key, seg)
 		for _, p := range s.cdn {
 			p.register(key, seg)
 		}

@@ -2,8 +2,9 @@
 // the JSON API (internal/api), one RTMP ingest/relay server per world
 // region (the "EC2 vidman" machines of §3 — region-nearest to the
 // broadcaster), the popularity-triggered HLS pipeline (repackage the RTMP
-// stream into MPEG-TS segments and serve them from a small number of
-// CDN POPs, as the paper observed: all HLS streams came from two IP
+// stream into MPEG-TS segments at an origin tier and serve them from a
+// small number of CDN POPs whose edge replicas fill origin→POP
+// asynchronously, as the paper observed: all HLS streams came from two IP
 // addresses while 87 RTMP servers were seen), and the WebSocket chat with
 // its avatar store.
 //
@@ -36,6 +37,11 @@ type Config struct {
 	SegmentTarget time.Duration
 	// CDNPOPs is the number of CDN edge servers (the study saw 2).
 	CDNPOPs int
+	// CDNUnregisterLinger is how long an ended broadcast stays registered
+	// at the origin tier and edge POPs, so viewers mid-stream can fetch
+	// the final (ENDLIST) playlist and drain the last window. Zero
+	// unregisters immediately.
+	CDNUnregisterLinger time.Duration
 	// APIRateLimit enables 429 responses (requests/second per session).
 	APIRateLimit float64
 	APIBurst     float64
@@ -47,13 +53,14 @@ func DefaultConfig() Config {
 	pc := broadcastmodel.DefaultConfig()
 	pc.TargetConcurrent = 300 // wire tier runs small; model tier scales up
 	return Config{
-		PopConfig:          pc,
-		HLSViewerThreshold: 100,
-		SegmentTarget:      3600 * time.Millisecond,
-		CDNPOPs:            2,
-		APIRateLimit:       2,
-		APIBurst:           6,
-		Seed:               1,
+		PopConfig:           pc,
+		HLSViewerThreshold:  100,
+		SegmentTarget:       3600 * time.Millisecond,
+		CDNPOPs:             2,
+		CDNUnregisterLinger: 15 * time.Second,
+		APIRateLimit:        2,
+		APIBurst:            6,
+		Seed:                1,
 	}
 }
 
@@ -72,7 +79,12 @@ type Service struct {
 
 	regions []geo.Region
 	ingest  map[string]*ingestServer // region name -> RTMP ingest
+	origin  *originTier              // CDN fill source (one Origin per broadcast)
 	cdn     []*cdnPOP
+
+	// endedDelivery accumulates the shard-level fan-out counters of hubs
+	// whose broadcasts have ended, so the snapshot stays cumulative.
+	endedDelivery deliveryCounters
 
 	// mu guards hubs and done. It is an RWMutex because hubFor runs on
 	// every media message: routing takes the read side only, so it never
@@ -80,7 +92,16 @@ type Service struct {
 	// writes (hub creation, shutdown).
 	mu   sync.RWMutex
 	hubs map[string]*hub // broadcast ID -> live pipeline
-	done bool
+	// ending holds hubs removed from hubs but whose delivery counters are
+	// not yet folded into endedDelivery (EndBroadcast's stop window), so
+	// Snapshot neither misses nor double-counts them.
+	ending map[*hub]struct{}
+	done   bool
+
+	// timerMu guards the pending CDN unregister timers (broadcast-end
+	// linger); a fired timer removes its own entry, Close stops the rest.
+	timerMu   sync.Mutex
+	endTimers map[*time.Timer]struct{}
 }
 
 // Start builds and starts every component on loopback ports.
@@ -109,6 +130,14 @@ func Start(cfg Config) (*Service, error) {
 		}
 		s.ingest[r.Name] = ing
 	}
+
+	// CDN origin tier: the single fill source the POPs replicate from.
+	origin, err := newOriginTier()
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("service: starting CDN origin tier: %w", err)
+	}
+	s.origin = origin
 
 	// CDN POPs ("Fastly" edges).
 	for i := 0; i < cfg.CDNPOPs; i++ {
@@ -175,14 +204,25 @@ func (s *Service) Close() {
 		hubs = append(hubs, h)
 	}
 	s.mu.Unlock()
+	s.timerMu.Lock()
+	for t := range s.endTimers {
+		t.Stop()
+	}
+	s.endTimers = nil
+	s.timerMu.Unlock()
 	for _, h := range hubs {
 		h.stop()
 	}
 	for _, ing := range s.ingest {
 		ing.srv.Close()
 	}
+	// POPs drain before the origin tier goes away: an in-flight fill must
+	// not lose its upstream mid-drain.
 	for _, pop := range s.cdn {
 		pop.close()
+	}
+	if s.origin != nil {
+		s.origin.close()
 	}
 	if s.apiHTTP != nil {
 		s.apiHTTP.Close()
@@ -190,6 +230,71 @@ func (s *Service) Close() {
 	if s.chatHTTP != nil {
 		s.chatHTTP.Close()
 	}
+}
+
+// EndBroadcast ends a live broadcast's pipeline: the hub stops (finishing
+// the segmenter, so origin and edge playlists go final with
+// #EXT-X-ENDLIST), its fan-out counters fold into the service aggregate,
+// and — after CDNUnregisterLinger, so current viewers can fetch the final
+// playlist and drain the last window — the broadcast is unregistered from
+// the origin tier and every POP. Without this, ended broadcasts would pin
+// their segmenters in the CDN maps forever.
+func (s *Service) EndBroadcast(id string) {
+	s.mu.Lock()
+	h := s.hubs[id]
+	delete(s.hubs, id)
+	if h != nil {
+		// Park the hub in the ending set until its counters have settled:
+		// Snapshot reads hubs, ending, and endedDelivery under one lock,
+		// so the cumulative counters neither dip nor double-count across
+		// the stop window.
+		if s.ending == nil {
+			s.ending = map[*hub]struct{}{}
+		}
+		s.ending[h] = struct{}{}
+	}
+	s.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h.stop()
+	s.mu.Lock()
+	s.endedDelivery.add(&h.stats)
+	delete(s.ending, h)
+	s.mu.Unlock()
+	seg := h.Segmenter()
+	if seg == nil {
+		return // HLS never enabled: nothing registered at the CDN
+	}
+	// Unregistration is conditional on the ended segmenter: if the
+	// broadcast re-goes live during the linger, its re-registration
+	// replaces the mounts and this teardown leaves the live one alone.
+	unregister := func() {
+		s.origin.unregister(id, seg)
+		for _, pop := range s.cdn {
+			pop.unregister(id, seg)
+		}
+	}
+	linger := s.cfg.CDNUnregisterLinger
+	if linger <= 0 {
+		unregister()
+		return
+	}
+	s.timerMu.Lock()
+	if s.endTimers == nil {
+		s.endTimers = map[*time.Timer]struct{}{}
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(linger, func() {
+		unregister()
+		// Drop our own entry so long-running services with broadcast
+		// churn do not accumulate fired timers.
+		s.timerMu.Lock()
+		delete(s.endTimers, tm)
+		s.timerMu.Unlock()
+	})
+	s.endTimers[tm] = struct{}{}
+	s.timerMu.Unlock()
 }
 
 // AccessVideo implements api.VideoAccessProvider: it starts the broadcast

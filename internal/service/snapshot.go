@@ -1,0 +1,120 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// deliveryCounters are the shard-level fan-out metrics of one hub: how
+// often the drop-oldest policy fired, how many keyframe resyncs it forced,
+// and how many hopeless viewers were disconnected.
+type deliveryCounters struct {
+	drops    atomic.Int64
+	resyncs  atomic.Int64
+	hopeless atomic.Int64
+}
+
+// add accumulates other into c (used when an ended hub's totals fold into
+// the service-lifetime aggregate).
+func (c *deliveryCounters) add(other *deliveryCounters) {
+	c.drops.Add(other.drops.Load())
+	c.resyncs.Add(other.resyncs.Load())
+	c.hopeless.Add(other.hopeless.Load())
+}
+
+// DeliverySnapshot aggregates the RTMP fan-out plane across all hubs that
+// have existed (live hubs plus broadcasts already ended).
+type DeliverySnapshot struct {
+	// LiveHubs is the number of running broadcast pipelines; Viewers the
+	// currently attached RTMP viewers across them.
+	LiveHubs int
+	Viewers  int
+	// Drops counts viewer-queue messages discarded by the drop-oldest
+	// policy; Resyncs the keyframe (re)syncs the delivery path performed;
+	// HopelessDisconnects the viewers evicted for falling ≥4096 drops
+	// behind.
+	Drops, Resyncs, HopelessDisconnects int64
+}
+
+// OriginSnapshot is the origin tier's view of CDN fill traffic.
+type OriginSnapshot struct {
+	// Broadcasts is the number of registered origins.
+	Broadcasts int
+	// Requests/Bytes count everything served to the POPs; the split
+	// distinguishes playlist revalidations from segment fills.
+	Requests, Bytes                   int64
+	PlaylistRequests, SegmentRequests int64
+}
+
+// POPSnapshot is one edge's aggregated serving and fill metrics.
+type POPSnapshot struct {
+	Index int
+	// Requests and Bytes count viewer-facing traffic.
+	Requests, Bytes int64
+	// Broadcasts is the number of registered replicas; CachedSegments the
+	// total edge cache occupancy across them.
+	Broadcasts, CachedSegments int
+	// Fills counts origin segment fetches, FillBytes their volume,
+	// FillErrors the failed ones. SingleFlightHits counts viewer requests
+	// that coalesced onto an in-flight fill instead of hitting origin.
+	Fills, FillBytes, FillErrors, SingleFlightHits int64
+	// PlaylistRefreshes counts origin playlist fetches; StaleServes the
+	// playlist responses served past the TTL while revalidating
+	// (stale-while-revalidate); Evictions the segments aged out of the
+	// sliding edge cache; FillQueueDropped the background jobs rejected by
+	// the POP's fill queue.
+	PlaylistRefreshes, StaleServes, Evictions, FillQueueDropped int64
+	// MaxPlaylistAge is the oldest live playlist currently cached at this
+	// edge — the POP's worst-case playlist lag at snapshot time.
+	MaxPlaylistAge time.Duration
+}
+
+// Snapshot is a point-in-time view of the service's delivery plane: the
+// RTMP fan-out metrics (PR 3) next to the CDN origin/edge fill metrics.
+type Snapshot struct {
+	Delivery DeliverySnapshot
+	Origin   OriginSnapshot
+	POPs     []POPSnapshot
+}
+
+// Snapshot collects the service's delivery-plane metrics.
+func (s *Service) Snapshot() Snapshot {
+	var snap Snapshot
+
+	// One critical section for the fan-out counters: EndBroadcast moves a
+	// hub from hubs → ending → endedDelivery under the write lock, so
+	// reading all three together keeps the cumulative counters monotonic
+	// (no dip while a hub stops, no double count after the fold).
+	s.mu.RLock()
+	snap.Delivery.LiveHubs = len(s.hubs)
+	snap.Delivery.Drops = s.endedDelivery.drops.Load()
+	snap.Delivery.Resyncs = s.endedDelivery.resyncs.Load()
+	snap.Delivery.HopelessDisconnects = s.endedDelivery.hopeless.Load()
+	addHub := func(h *hub) {
+		snap.Delivery.Viewers += h.ViewerCount()
+		snap.Delivery.Drops += h.stats.drops.Load()
+		snap.Delivery.Resyncs += h.stats.resyncs.Load()
+		snap.Delivery.HopelessDisconnects += h.stats.hopeless.Load()
+	}
+	for _, h := range s.hubs {
+		addHub(h)
+	}
+	for h := range s.ending {
+		addHub(h)
+	}
+	s.mu.RUnlock()
+
+	if s.origin != nil {
+		snap.Origin = OriginSnapshot{
+			Broadcasts:       s.origin.count(),
+			Requests:         s.origin.Requests.Load(),
+			Bytes:            s.origin.Bytes.Load(),
+			PlaylistRequests: s.origin.PlaylistRequests.Load(),
+			SegmentRequests:  s.origin.SegmentRequests.Load(),
+		}
+	}
+	for _, pop := range s.cdn {
+		snap.POPs = append(snap.POPs, pop.stats())
+	}
+	return snap
+}

@@ -47,6 +47,11 @@ type (
 	Testbed = service.Service
 	// TestbedConfig tunes the wire-level service.
 	TestbedConfig = service.Config
+	// TestbedSnapshot is the service's delivery-plane snapshot: RTMP
+	// fan-out counters next to CDN origin/edge fill metrics (fills,
+	// single-flight hits, playlist staleness, evictions). Obtain one via
+	// Testbed.Snapshot, render with analysis.DeliveryTable.
+	TestbedSnapshot = service.Snapshot
 	// WireSession configures a real (non-simulated) viewing session.
 	WireSession = session.WireConfig
 )
