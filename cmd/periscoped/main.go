@@ -1,8 +1,10 @@
 // Command periscoped runs the full Periscope-like service on loopback —
-// API, regional RTMP ingest fleet, CDN origin tier + edge POPs and chat —
-// and prints the endpoints. Point the other tools (or your own RTMP/HLS
-// client) at it. A delivery-plane snapshot (fan-out drops/resyncs, CDN
-// fills, playlist staleness) prints periodically and at shutdown.
+// API, regional RTMP ingest fleet, geo-placed CDN origin tier + edge POPs
+// and chat — and prints the endpoints. Point the other tools (or your own
+// RTMP/HLS client) at it. The population churns in real time (scheduled
+// broadcast ends tear their pipelines down end-to-end), and a
+// delivery-plane snapshot (fan-out drops/resyncs, peer vs origin fills,
+// playlist staleness) prints periodically and at shutdown.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"periscope"
@@ -20,12 +23,24 @@ import (
 func main() {
 	concurrent := flag.Int("broadcasts", 300, "steady-state number of live broadcasts")
 	threshold := flag.Int("hls-threshold", 100, "viewer count beyond which HLS is used")
+	pops := flag.Int("pops", 2, "number of CDN edge POPs (placed round-robin over regions)")
+	popRegions := flag.String("pop-regions", "", "comma-separated POP regions (e.g. us-west,us-west,eu-west); overrides -pops")
+	churn := flag.Duration("churn", 2*time.Second, "population churn tick (0 freezes the population)")
 	statsEvery := flag.Duration("stats", time.Minute, "delivery snapshot print interval (0 disables)")
 	flag.Parse()
 
 	cfg := periscope.DefaultTestbedConfig()
 	cfg.PopConfig.TargetConcurrent = *concurrent
 	cfg.HLSViewerThreshold = *threshold
+	cfg.CDNPOPs = *pops
+	if *popRegions != "" {
+		for _, name := range strings.Split(*popRegions, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.CDNPOPRegions = append(cfg.CDNPOPRegions, name)
+			}
+		}
+	}
+	cfg.ChurnInterval = *churn
 	tb, err := periscope.StartTestbed(cfg)
 	if err != nil {
 		log.Fatalf("starting service: %v", err)
@@ -38,6 +53,10 @@ func main() {
 	fmt.Println("  RTMP ingest fleet (region-nearest to the broadcaster):")
 	for name, rev := range tb.RTMPServerNames() {
 		fmt.Printf("    %-34s %s\n", name, rev)
+	}
+	fmt.Println("  CDN topology (hierarchical fills: nearest peer, then origin):")
+	for _, line := range tb.CDNTopology() {
+		fmt.Printf("    %s\n", line)
 	}
 	fmt.Println("\nCtrl-C to stop.")
 

@@ -5,7 +5,45 @@ import (
 	"time"
 
 	"periscope"
+	"periscope/internal/analysis"
 )
+
+// ExampleStartTestbed boots the wire-level service with a geo-placed CDN
+// (one POP in San Francisco, one in Europe — the paper's two Fastly
+// edges), starts one broadcast's pipeline, ends it through the lifecycle
+// path, and renders the delivery-plane snapshot. Population-scheduled
+// ends take the same path via Pop.Advance; EndBroadcast is the direct
+// handle.
+func ExampleStartTestbed() {
+	cfg := periscope.DefaultTestbedConfig()
+	cfg.PopConfig.TargetConcurrent = 60
+	cfg.CDNPOPRegions = []string{"us-west", "eu-west"}
+	cfg.CDNLinkRTTScale = -1 // example speed: keep the fill hierarchy, skip the modelled RTTs
+	cfg.CDNUnregisterLinger = 0
+	tb, err := periscope.StartTestbed(cfg)
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	defer tb.Close()
+
+	b := tb.Pop.Live()[0]
+	if _, err := tb.AccessVideo(b.ID); err != nil {
+		fmt.Println("access:", err)
+		return
+	}
+	tb.EndBroadcast(b.ID)
+
+	var snap periscope.TestbedSnapshot = tb.Snapshot()
+	tbl := analysis.DeliveryTable(snap)
+	fmt.Println(tbl.ID)
+	fmt.Println("live hubs after end:", snap.Delivery.LiveHubs)
+	fmt.Println("POPs:", len(snap.POPs), "in", snap.POPs[0].Region, "and", snap.POPs[1].Region)
+	// Output:
+	// Delivery
+	// live hubs after end: 0
+	// POPs: 2 in us-west and eu-west
+}
 
 // ExampleRunPowerStudy regenerates the Fig. 7 power table.
 func ExampleRunPowerStudy() {

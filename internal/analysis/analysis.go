@@ -453,9 +453,9 @@ func Section52Stats(rtmp, hlsSegs []mediaanalysis.Report, segDurs []time.Duratio
 
 // DeliveryTable renders a service delivery-plane snapshot: the RTMP
 // fan-out counters (drops, resyncs, hopeless disconnects) next to the CDN
-// origin/edge fill metrics (fills, coalesced requests, playlist staleness,
-// evictions) — the operational view of the two-POP Fastly delivery the
-// paper measured from the outside.
+// origin/edge fill metrics (peer vs origin fills, coalesced requests,
+// playlist staleness, warm-ups, evictions) — the operational view of the
+// geo-placed Fastly-style delivery the paper measured from the outside.
 func DeliveryTable(snap service.Snapshot) Table {
 	t := Table{
 		ID:     "Delivery",
@@ -472,17 +472,30 @@ func DeliveryTable(snap service.Snapshot) Table {
 	add("fan-out", "keyframe resyncs", fmt.Sprintf("%d", d.Resyncs))
 	add("fan-out", "hopeless disconnects", fmt.Sprintf("%d", d.HopelessDisconnects))
 	o := snap.Origin
-	add("origin", "registered broadcasts", fmt.Sprintf("%d", o.Broadcasts))
-	add("origin", "fill requests (playlist/segment)",
+	origin := "origin"
+	if o.Region != "" {
+		origin = fmt.Sprintf("origin (%s)", o.Region)
+	}
+	add(origin, "registered broadcasts", fmt.Sprintf("%d", o.Broadcasts))
+	add(origin, "fill requests (playlist/segment)",
 		fmt.Sprintf("%d (%d/%d)", o.Requests, o.PlaylistRequests, o.SegmentRequests))
-	add("origin", "fill bytes", fmt.Sprintf("%d", o.Bytes))
+	add(origin, "fill bytes", fmt.Sprintf("%d", o.Bytes))
 	for _, p := range snap.POPs {
 		tier := fmt.Sprintf("pop %d", p.Index)
+		if p.Region != "" {
+			tier = fmt.Sprintf("pop %d (%s)", p.Index, p.Region)
+		}
 		add(tier, "viewer requests", fmt.Sprintf("%d", p.Requests))
 		add(tier, "viewer bytes", fmt.Sprintf("%d", p.Bytes))
 		add(tier, "replicas / cached segments", fmt.Sprintf("%d / %d", p.Broadcasts, p.CachedSegments))
 		add(tier, "segment fills", fmt.Sprintf("%d (%d B, %d errors)", p.Fills, p.FillBytes, p.FillErrors))
+		add(tier, "peer fills / origin fills",
+			fmt.Sprintf("%d / %d (%d probe misses)", p.PeerFills, p.OriginFills, p.PeerMisses))
+		add(tier, "peer serves", fmt.Sprintf("%d of %d probes (%d B out)",
+			p.PeerServes, p.PeerRequests, p.PeerBytesOut))
 		add(tier, "single-flight hits", fmt.Sprintf("%d", p.SingleFlightHits))
+		add(tier, "warm-ups", fmt.Sprintf("%d", p.Warmups))
+		add(tier, "fill cap waits", fmt.Sprintf("%d (cap %d)", p.FillCapWaits, p.FillCap))
 		add(tier, "playlist refreshes / stale serves",
 			fmt.Sprintf("%d / %d", p.PlaylistRefreshes, p.StaleServes))
 		add(tier, "evictions", fmt.Sprintf("%d", p.Evictions))

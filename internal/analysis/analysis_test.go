@@ -162,16 +162,24 @@ func TestSection52Table(t *testing.T) {
 func TestDeliveryTableRenders(t *testing.T) {
 	snap := service.Snapshot{
 		Delivery: service.DeliverySnapshot{LiveHubs: 2, Viewers: 150, Drops: 12, Resyncs: 4, HopelessDisconnects: 1},
-		Origin:   service.OriginSnapshot{Broadcasts: 2, Requests: 30, Bytes: 1 << 20, PlaylistRequests: 10, SegmentRequests: 20},
+		Origin:   service.OriginSnapshot{Region: "us-east", Broadcasts: 2, Requests: 30, Bytes: 1 << 20, PlaylistRequests: 10, SegmentRequests: 20},
 		POPs: []service.POPSnapshot{{
-			Index: 0, Requests: 500, Bytes: 5 << 20, Broadcasts: 2, CachedSegments: 8,
+			Index: 0, Region: "us-west", Requests: 500, Bytes: 5 << 20, Broadcasts: 2, CachedSegments: 8,
 			Fills: 20, FillBytes: 1 << 20, SingleFlightHits: 480,
+			PeerFills: 14, PeerFillBytes: 700_000, PeerMisses: 2, OriginFills: 6,
+			PeerRequests: 9, PeerServes: 7, PeerBytesOut: 350_000,
+			Warmups: 2, FillCapWaits: 5, FillCap: 4,
 			PlaylistRefreshes: 10, StaleServes: 3, Evictions: 6,
 			MaxPlaylistAge: 1700 * time.Millisecond,
 		}},
 	}
 	out := DeliveryTable(snap).Render()
-	for _, want := range []string{"hopeless disconnects", "single-flight hits", "stale serves", "max playlist age", "1.7s", "pop 0"} {
+	for _, want := range []string{
+		"hopeless disconnects", "single-flight hits", "stale serves",
+		"max playlist age", "1.7s", "pop 0 (us-west)", "origin (us-east)",
+		"peer fills / origin fills", "14 / 6 (2 probe misses)",
+		"peer serves", "7 of 9 probes", "warm-ups", "fill cap waits", "5 (cap 4)",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("delivery table missing %q:\n%s", want, out)
 		}

@@ -133,6 +133,12 @@ type Population struct {
 	// meanDurationSec caches the scheduled-duration mean for arrival-rate
 	// balancing (arrival rate = target / mean duration).
 	meanDurationSec float64
+	// endHook, when set, receives the broadcasts whose scheduled End
+	// expired during an Advance call (invoked after the population lock is
+	// released). It is how the wire tier learns about scheduled ends: the
+	// service wires it to EndBroadcast so the CDN churns broadcasts
+	// end-to-end without manual intervention.
+	endHook func([]*Broadcast)
 }
 
 // New creates a population at virtual time start. The population begins
@@ -261,11 +267,22 @@ func (p *Population) Now() time.Time {
 	return p.now
 }
 
-// Advance moves virtual time forward, ending expired broadcasts and
-// spawning arrivals at a diurnally modulated rate.
-func (p *Population) Advance(dt time.Duration) {
+// OnBroadcastEnd installs a listener invoked after each Advance call with
+// the broadcasts whose scheduled End expired during it. The listener runs
+// on the Advance caller's goroutine, outside the population lock, so it
+// may call back into the population.
+func (p *Population) OnBroadcastEnd(fn func([]*Broadcast)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.endHook = fn
+}
+
+// Advance moves virtual time forward, ending expired broadcasts and
+// spawning arrivals at a diurnally modulated rate. Scheduled ends are
+// reported to the OnBroadcastEnd listener.
+func (p *Population) Advance(dt time.Duration) {
+	p.mu.Lock()
+	var endedNow []*Broadcast
 	const step = 10 * time.Second
 	remaining := dt
 	for remaining > 0 {
@@ -280,6 +297,7 @@ func (p *Population) Advance(dt time.Duration) {
 			if !b.End.After(p.now) {
 				delete(p.live, id)
 				p.ended = append(p.ended, b)
+				endedNow = append(endedNow, b)
 			}
 		}
 		// Arrivals: rate balances departures at steady state, with a mild
@@ -298,6 +316,43 @@ func (p *Population) Advance(dt time.Duration) {
 	if len(p.ended) > 500_000 {
 		p.ended = p.ended[len(p.ended)-500_000:]
 	}
+	hook := p.endHook
+	p.mu.Unlock()
+	if hook != nil && len(endedNow) > 0 {
+		hook(endedNow)
+	}
+}
+
+// EndAt reschedules a live broadcast's end, the knob churn tests and
+// scenario drivers use to make a scheduled end land at a chosen virtual
+// time. It reports whether the broadcast was live.
+func (p *Population) EndAt(id string, t time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.live[id]
+	if !ok {
+		return false
+	}
+	b.End = t
+	return true
+}
+
+// Relaunch returns an ended broadcast to the live set with a fresh
+// scheduled end dur from now — a broadcaster restarting the same stream,
+// the case a CDN's end-of-broadcast linger must tolerate without tearing
+// down the relaunched mounts.
+func (p *Population) Relaunch(id string, dur time.Duration) (*Broadcast, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, b := range p.ended {
+		if b.ID == id {
+			p.ended = append(p.ended[:i], p.ended[i+1:]...)
+			b.End = p.now.Add(dur)
+			p.live[id] = b
+			return b, true
+		}
+	}
+	return nil, false
 }
 
 // LiveCount returns the number of currently live broadcasts.

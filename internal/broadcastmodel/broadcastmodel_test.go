@@ -3,6 +3,7 @@ package broadcastmodel
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,6 +30,97 @@ func TestSteadyState(t *testing.T) {
 	got := p.LiveCount()
 	if got < 300 || got > 800 {
 		t.Errorf("LiveCount after 2h = %d, want ~500", got)
+	}
+}
+
+func TestOnBroadcastEndHook(t *testing.T) {
+	p := testPop(t, 200)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	p.OnBroadcastEnd(func(ended []*Broadcast) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, b := range ended {
+			seen[b.ID]++
+			if b.End.After(p.Now()) {
+				t.Errorf("broadcast %s reported ended before its End", b.ID)
+			}
+		}
+	})
+	p.Advance(time.Hour)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 {
+		t.Fatal("no scheduled ends reported over an hour")
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("broadcast %s reported ended %d times", id, n)
+		}
+	}
+	// Every reported broadcast is in the ended archive, and the hook saw
+	// every archived end.
+	if got := len(p.Ended()); got != len(seen) {
+		t.Errorf("hook saw %d ends, archive holds %d", len(seen), got)
+	}
+}
+
+func TestEndAtSchedulesEnd(t *testing.T) {
+	p := testPop(t, 100)
+	b := p.Live()[0]
+	if !p.EndAt(b.ID, p.Now().Add(30*time.Second)) {
+		t.Fatal("EndAt on a live broadcast reported not found")
+	}
+	var endedIDs []string
+	p.OnBroadcastEnd(func(ended []*Broadcast) {
+		for _, e := range ended {
+			endedIDs = append(endedIDs, e.ID)
+		}
+	})
+	p.Advance(time.Minute)
+	found := false
+	for _, id := range endedIDs {
+		if id == b.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EndAt-scheduled end not reported by the hook")
+	}
+	if _, live := p.Get(b.ID); live {
+		t.Error("broadcast still live past its rescheduled end")
+	}
+	if p.EndAt("nope0000nope0", p.Now()) {
+		t.Error("EndAt on an unknown broadcast reported success")
+	}
+}
+
+func TestRelaunchRevivesEndedBroadcast(t *testing.T) {
+	p := testPop(t, 100)
+	b := p.Live()[0]
+	p.EndAt(b.ID, p.Now().Add(10*time.Second))
+	p.Advance(time.Minute)
+	if _, live := p.Get(b.ID); live {
+		t.Fatal("broadcast did not end")
+	}
+	rb, ok := p.Relaunch(b.ID, 5*time.Minute)
+	if !ok || rb.ID != b.ID {
+		t.Fatalf("Relaunch = %v, %v", rb, ok)
+	}
+	if got, live := p.Get(b.ID); !live || got != rb {
+		t.Error("relaunched broadcast not live")
+	}
+	if !rb.End.After(p.Now()) {
+		t.Errorf("relaunched End %v not in the future (now %v)", rb.End, p.Now())
+	}
+	// It is no longer in the ended archive.
+	for _, e := range p.Ended() {
+		if e.ID == b.ID {
+			t.Error("relaunched broadcast still archived as ended")
+		}
+	}
+	if _, ok := p.Relaunch("nope0000nope0", time.Minute); ok {
+		t.Error("Relaunch invented a broadcast")
 	}
 }
 

@@ -8,6 +8,7 @@ package geo
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Point is a geographic coordinate in degrees.
@@ -67,6 +68,41 @@ func (r Rect) String() string {
 	return fmt.Sprintf("[%.2f,%.2f..%.2f,%.2f]", r.South, r.West, r.North, r.East)
 }
 
+// earthRadiusKm is the mean Earth radius used by DistanceKm.
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle (haversine) distance between two
+// points in kilometres.
+func DistanceKm(a, b Point) float64 {
+	const rad = math.Pi / 180
+	lat1, lat2 := a.Lat*rad, b.Lat*rad
+	dLat := (b.Lat - a.Lat) * rad
+	dLon := (b.Lon - a.Lon) * rad
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// fiberKmPerSec is the signal propagation speed in optical fiber (~2/3 c),
+// the standard first-order model for inter-datacenter latency.
+const fiberKmPerSec = 200_000.0
+
+// linkHopOverhead is the fixed per-path cost (routing, serialization,
+// handshakes amortized over keep-alive) added on top of propagation delay.
+// It is also the floor for co-located endpoints: two POPs in the same
+// region are near, not free.
+const linkHopOverhead = 2 * time.Millisecond
+
+// LinkRTT estimates the round-trip time of a wide-area path between two
+// points: great-circle propagation at fiber speed, doubled, plus a fixed
+// hop overhead. §5.1 of the paper attributes much of the HLS latency
+// spread to exactly this quantity — the RTT between viewer, edge, and
+// origin.
+func LinkRTT(a, b Point) time.Duration {
+	oneWay := DistanceKm(a, b) / fiberKmPerSec
+	return time.Duration(2*oneWay*float64(time.Second)) + linkHopOverhead
+}
+
 // LocalHourOffset estimates the broadcaster's UTC offset in hours from the
 // longitude (15 degrees per hour, rounded to the nearest hour). The paper
 // determines the local time of day from the broadcaster's time zone; this
@@ -113,6 +149,16 @@ func Regions() []Region {
 		{Name: "asia-east", Bounds: Rect{South: 0, West: 95, North: 45, East: 145}, Weight: 0.12, UTCOffset: 8},
 		{Name: "oceania", Bounds: Rect{South: -45, West: 110, North: -10, East: 155}, Weight: 0.04, UTCOffset: 10},
 	}
+}
+
+// RegionByName looks a region up by name.
+func RegionByName(regions []Region, name string) (Region, bool) {
+	for _, r := range regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
 }
 
 // NearestRegion returns the region whose centre is closest to p, used for

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestWorldValid(t *testing.T) {
@@ -126,6 +127,59 @@ func TestNearestRegion(t *testing.T) {
 	r := NearestRegion(regs, Point{Lat: 41, Lon: 29})
 	if r.Name == "us-west" || r.Name == "us-east" || r.Name == "south-america" {
 		t.Errorf("Istanbul nearest = %s", r.Name)
+	}
+}
+
+func TestDistanceKm(t *testing.T) {
+	// Zero distance.
+	p := Point{Lat: 48.9, Lon: 2.3}
+	if d := DistanceKm(p, p); d != 0 {
+		t.Errorf("DistanceKm(p, p) = %v, want 0", d)
+	}
+	// Paris ↔ New York is ~5840 km; accept a few percent (spherical model).
+	ny := Point{Lat: 40.7, Lon: -74.0}
+	d := DistanceKm(p, ny)
+	if d < 5500 || d > 6100 {
+		t.Errorf("Paris-NY = %v km, want ~5840", d)
+	}
+	if d2 := DistanceKm(ny, p); math.Abs(d-d2) > 1e-9 {
+		t.Errorf("distance not symmetric: %v vs %v", d, d2)
+	}
+	// Antipodal points are half the circumference (~20015 km).
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 0, Lon: 180}
+	if d := DistanceKm(a, b); math.Abs(d-math.Pi*earthRadiusKm) > 1 {
+		t.Errorf("antipodal distance = %v", d)
+	}
+}
+
+func TestLinkRTT(t *testing.T) {
+	regs := Regions()
+	usw, _ := RegionByName(regs, "us-west")
+	euw, _ := RegionByName(regs, "eu-west")
+	// Same point: only the hop overhead.
+	if rtt := LinkRTT(usw.Bounds.Center(), usw.Bounds.Center()); rtt != linkHopOverhead {
+		t.Errorf("co-located RTT = %v, want %v", rtt, linkHopOverhead)
+	}
+	// Transatlantic: tens of milliseconds, under a second.
+	rtt := LinkRTT(usw.Bounds.Center(), euw.Bounds.Center())
+	if rtt < 50*time.Millisecond || rtt > 200*time.Millisecond {
+		t.Errorf("us-west↔eu-west RTT = %v, want 50-200 ms", rtt)
+	}
+	// Monotone in distance: the farther pair has the larger RTT.
+	use, _ := RegionByName(regs, "us-east")
+	if near := LinkRTT(euw.Bounds.Center(), use.Bounds.Center()); near >= rtt {
+		t.Errorf("eu-west↔us-east RTT %v not below eu-west↔us-west %v", near, rtt)
+	}
+}
+
+func TestRegionByName(t *testing.T) {
+	regs := Regions()
+	if r, ok := RegionByName(regs, "eu-west"); !ok || r.Name != "eu-west" {
+		t.Errorf("RegionByName(eu-west) = %+v, %v", r, ok)
+	}
+	if _, ok := RegionByName(regs, "atlantis"); ok {
+		t.Error("unknown region reported found")
 	}
 }
 

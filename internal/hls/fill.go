@@ -1,0 +1,75 @@
+package hls
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// TieredSource is the hierarchical fill path of a geo-aware edge, the
+// policy Fastly-style CDNs use to keep origin egress at O(clusters)
+// instead of O(POPs) per segment: a missing segment is probed from
+// cache-only peer POPs (nearest first) and only falls back to the origin
+// when no peer holds it. Peers never fill recursively — a probe answers
+// from cache or 404s — so a fill is at most two hops (origin → first POP
+// in a cluster, then peer → the rest). Playlists always come from the
+// origin: the live window must be fresh, and a peer's copy may be stale.
+//
+// TieredSource sits below a Replica's single-flight layer, so however
+// many viewers fan in at one edge, the whole peer-then-origin cascade
+// runs once per segment.
+type TieredSource struct {
+	// Peers are cache-only sources, tried in order (nearest first). A 404
+	// means the peer does not hold the segment; any other error also falls
+	// through to the next tier.
+	Peers []SegmentSource
+	// Origin is the authoritative source (required).
+	Origin SegmentSource
+
+	// PeerFills counts segments served by a peer (origin egress avoided);
+	// PeerFillBytes their volume; PeerMisses the probes that came back
+	// empty or failed. OriginFills counts segment fetches that fell
+	// through to the origin (successful or not).
+	PeerFills     atomic.Int64
+	PeerFillBytes atomic.Int64
+	PeerMisses    atomic.Int64
+	OriginFills   atomic.Int64
+}
+
+// FetchPlaylist implements SegmentSource: playlists are origin-only.
+func (t *TieredSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
+	return t.Origin.FetchPlaylist(ctx)
+}
+
+// FetchSegment implements SegmentSource: probe peers nearest-first, fall
+// back to the origin.
+func (t *TieredSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
+	for _, p := range t.Peers {
+		data, err := p.FetchSegment(ctx, seq)
+		if err == nil {
+			t.PeerFills.Add(1)
+			t.PeerFillBytes.Add(int64(len(data)))
+			return data, nil
+		}
+		t.PeerMisses.Add(1)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	t.OriginFills.Add(1)
+	return t.Origin.FetchSegment(ctx, seq)
+}
+
+// Stats returns a point-in-time copy of the tier counters.
+func (t *TieredSource) Stats() TieredStats {
+	return TieredStats{
+		PeerFills:     t.PeerFills.Load(),
+		PeerFillBytes: t.PeerFillBytes.Load(),
+		PeerMisses:    t.PeerMisses.Load(),
+		OriginFills:   t.OriginFills.Load(),
+	}
+}
+
+// TieredStats is a snapshot of one TieredSource's counters.
+type TieredStats struct {
+	PeerFills, PeerFillBytes, PeerMisses, OriginFills int64
+}

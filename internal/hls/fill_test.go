@@ -1,0 +1,274 @@
+package hls
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTieredSourcePeerFirst(t *testing.T) {
+	peerEmpty := newFakeSource()
+	peerWarm := newFakeSource()
+	peerWarm.setSegment(7, []byte("from-peer"))
+	origin := newFakeSource()
+	origin.setSegment(7, []byte("from-origin"))
+
+	src := &TieredSource{Peers: []SegmentSource{peerEmpty, peerWarm}, Origin: origin}
+	data, err := src.FetchSegment(context.Background(), 7)
+	if err != nil || string(data) != "from-peer" {
+		t.Fatalf("FetchSegment = %q, %v; want peer copy", data, err)
+	}
+	st := src.Stats()
+	if st.PeerFills != 1 || st.PeerMisses != 1 || st.OriginFills != 0 {
+		t.Errorf("stats = %+v, want 1 peer fill, 1 miss, 0 origin", st)
+	}
+	if st.PeerFillBytes != int64(len("from-peer")) {
+		t.Errorf("PeerFillBytes = %d", st.PeerFillBytes)
+	}
+	if origin.segmentFetches.Load() != 0 {
+		t.Error("origin was hit although a peer held the segment")
+	}
+}
+
+func TestTieredSourceFallsBackToOrigin(t *testing.T) {
+	peer1, peer2 := newFakeSource(), newFakeSource()
+	origin := newFakeSource()
+	origin.setSegment(3, []byte("authoritative"))
+
+	src := &TieredSource{Peers: []SegmentSource{peer1, peer2}, Origin: origin}
+	data, err := src.FetchSegment(context.Background(), 3)
+	if err != nil || string(data) != "authoritative" {
+		t.Fatalf("FetchSegment = %q, %v", data, err)
+	}
+	st := src.Stats()
+	if st.PeerFills != 0 || st.PeerMisses != 2 || st.OriginFills != 1 {
+		t.Errorf("stats = %+v, want 0/2/1", st)
+	}
+}
+
+func TestTieredSourcePlaylistIsOriginOnly(t *testing.T) {
+	peer := newFakeSource()
+	peer.setPlaylist(livePlaylist(9)) // a stale peer copy that must not be used
+	origin := newFakeSource()
+	origin.setPlaylist(livePlaylist(1, 2))
+
+	src := &TieredSource{Peers: []SegmentSource{peer}, Origin: origin}
+	raw, err := src.FetchPlaylist(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := ParseMediaPlaylist(raw)
+	if err != nil || len(pl.Segments) != 2 {
+		t.Fatalf("playlist = %+v, %v; want the origin's 2-segment window", pl, err)
+	}
+	if peer.playlistFetches.Load() != 0 {
+		t.Error("peer asked for a playlist; playlists are origin-only")
+	}
+}
+
+// gatedSource wraps a fakeSource with a concurrency high-water mark and a
+// release gate, to observe the per-broadcast fill cap from upstream.
+type gatedSource struct {
+	inner    *fakeSource
+	cur, max atomic.Int64
+	release  chan struct{}
+}
+
+func newGatedSource() *gatedSource {
+	return &gatedSource{inner: newFakeSource(), release: make(chan struct{})}
+}
+
+func (s *gatedSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
+	return s.inner.FetchPlaylist(ctx)
+}
+
+func (s *gatedSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
+	cur := s.cur.Add(1)
+	defer s.cur.Add(-1)
+	for {
+		max := s.max.Load()
+		if cur <= max || s.max.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.inner.FetchSegment(ctx, seq)
+}
+
+// TestReplicaFillCapBoundsConcurrency pins the per-broadcast fill cap: a
+// hot broadcast's upstream fetch concurrency never exceeds the cap, the
+// queued fills are counted (a saturated cap is observable, not silent),
+// and a capped broadcast cannot starve another replica's fills.
+func TestReplicaFillCapBoundsConcurrency(t *testing.T) {
+	hot := newGatedSource()
+	for seq := 0; seq < 6; seq++ {
+		hot.inner.setSegment(seq, []byte{byte(seq)})
+	}
+	q := &jobQueue{}
+	repA := NewReplica(ReplicaConfig{Source: hot, MaxConcurrentFills: 2, Enqueue: q.enqueue})
+	if got := repA.Stats().FillCap; got != 2 {
+		t.Fatalf("FillCap = %d, want 2", got)
+	}
+
+	var wg sync.WaitGroup
+	for seq := 0; seq < 6; seq++ {
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			if _, err := repA.Segment(context.Background(), seq); err != nil {
+				t.Errorf("segment %d: %v", seq, err)
+			}
+		}(seq)
+	}
+	// The cap admits exactly two upstream fetches; the other four queue.
+	waitUntil(t, func() bool { return hot.cur.Load() == 2 })
+	waitUntil(t, func() bool { return repA.Stats().FillCapWaits == 4 })
+
+	// A different broadcast's replica fills promptly while A is saturated:
+	// the cap is per broadcast, not per POP.
+	cold := newFakeSource()
+	cold.setSegment(0, []byte("other"))
+	repB := NewReplica(ReplicaConfig{Source: cold, Enqueue: q.enqueue})
+	done := make(chan error, 1)
+	go func() {
+		_, err := repB.Segment(context.Background(), 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("other replica's fill failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("other replica's fill starved behind the capped broadcast")
+	}
+
+	close(hot.release)
+	wg.Wait()
+	if got := hot.max.Load(); got != 2 {
+		t.Errorf("upstream concurrency high-water = %d, want 2", got)
+	}
+	if st := repA.Stats(); st.Fills != 6 {
+		t.Errorf("fills = %d, want 6", st.Fills)
+	}
+}
+
+// TestReplicaPrefetchSkipsWhenCapSaturated: background prefetch jobs must
+// not park fill workers behind a saturated broadcast.
+func TestReplicaPrefetchSkipsWhenCapSaturated(t *testing.T) {
+	hot := newGatedSource()
+	hot.inner.setPlaylist(livePlaylist(0, 1))
+	hot.inner.setSegment(0, []byte{0})
+	hot.inner.setSegment(1, []byte{1})
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{Source: hot, MaxConcurrentFills: 1, Enqueue: q.enqueue})
+
+	// Saturate the cap with a demand fill held open at the source.
+	go rep.Segment(context.Background(), 0)
+	waitUntil(t, func() bool { return hot.cur.Load() == 1 })
+
+	// A playlist fill schedules prefetches; running them while saturated
+	// must skip, not block.
+	if _, _, err := rep.Playlist(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool { return q.size() > 0 })
+	ran := make(chan struct{})
+	go func() {
+		q.runAll()
+		close(ran)
+	}()
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("prefetch job blocked on the saturated fill cap")
+	}
+	if rep.Stats().PrefetchDropped == 0 {
+		t.Error("skipped prefetch not counted")
+	}
+	close(hot.release)
+}
+
+func TestReplicaWarmUpPrefetchesWindow(t *testing.T) {
+	src := newFakeSource()
+	src.setPlaylist(livePlaylist(4, 5, 6))
+	for seq := 4; seq <= 6; seq++ {
+		src.setSegment(seq, bytes.Repeat([]byte{byte(seq)}, 32))
+	}
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{Source: src, Enqueue: q.enqueue})
+
+	rep.WarmUp()
+	if st := rep.Stats(); st.Warmups != 1 {
+		t.Fatalf("Warmups = %d, want 1", st.Warmups)
+	}
+	// Run the warm-up job (playlist fetch), then the prefetches it spawns.
+	waitUntil(t, func() bool { return q.size() == 1 })
+	q.runAll()
+	waitUntil(t, func() bool { return q.size() == 3 })
+	q.runAll()
+
+	for seq := 4; seq <= 6; seq++ {
+		if _, ok := rep.CachedSegment(seq); !ok {
+			t.Errorf("segment %d not warmed", seq)
+		}
+	}
+	// CachedSegment is cache-only: the probe above must not have fetched.
+	if got := src.segmentFetches.Load(); got != 3 {
+		t.Errorf("origin segment fetches = %d, want 3 (prefetch only)", got)
+	}
+	if _, ok := rep.CachedSegment(99); ok {
+		t.Error("CachedSegment invented a segment")
+	}
+
+	// The first viewer hits a fully warm edge: no further origin traffic.
+	if _, _, err := rep.Playlist(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Segment(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if src.playlistFetches.Load() != 1 || src.segmentFetches.Load() != 3 {
+		t.Errorf("viewer after warm-up hit origin (%d playlist, %d segment fetches)",
+			src.playlistFetches.Load(), src.segmentFetches.Load())
+	}
+
+	// Re-warming a warm replica revalidates: the promoter calls WarmUp
+	// again once new content exists, and the refresh prefetches it.
+	src.setPlaylist(livePlaylist(5, 6, 7))
+	src.setSegment(7, bytes.Repeat([]byte{7}, 32))
+	rep.WarmUp()
+	if q.size() != 1 {
+		t.Fatalf("re-warm queued %d jobs, want 1 revalidation", q.size())
+	}
+	q.runAll()
+	waitUntil(t, func() bool { return q.size() == 1 }) // prefetch for seg 7
+	q.runAll()
+	if _, ok := rep.CachedSegment(7); !ok {
+		t.Error("re-warm did not prefetch the newly listed segment")
+	}
+	if st := rep.Stats(); st.Warmups != 2 {
+		t.Errorf("Warmups = %d, want 2", st.Warmups)
+	}
+
+	// A final playlist needs no warming.
+	endedPl := livePlaylist(5, 6, 7)
+	endedPl.Ended = true
+	src.setPlaylist(endedPl)
+	rep.WarmUp() // schedules one more revalidation; after it, Final is set
+	q.runAll()
+	waitUntil(t, func() bool { return rep.Stats().Final })
+	q.clear()
+	before := rep.Stats().Warmups
+	rep.WarmUp()
+	if q.size() != 0 || rep.Stats().Warmups != before {
+		t.Error("final replica scheduled a warm-up")
+	}
+}

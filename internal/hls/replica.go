@@ -170,6 +170,12 @@ type ReplicaConfig struct {
 	PlaylistTTL time.Duration
 	// FillTimeout bounds each background origin fetch. Defaults to 5 s.
 	FillTimeout time.Duration
+	// MaxConcurrentFills caps this broadcast's concurrent upstream segment
+	// fetches (origin or peer), so one hot broadcast cannot monopolize its
+	// peers or the POP's egress: demand fills past the cap queue (counted
+	// as FillCapWaits), background prefetches are skipped instead of tying
+	// up fill workers. Defaults to DefaultFillConcurrency.
+	MaxConcurrentFills int
 	// Enqueue runs a background job (the POP's FillWorker); when nil the
 	// replica spawns a goroutine per job.
 	Enqueue func(func()) bool
@@ -197,6 +203,9 @@ type Replica struct {
 	fillTimeout time.Duration
 	enqueue     func(func()) bool
 	now         func() time.Time
+	// fillSem bounds concurrent upstream segment fetches (the
+	// per-broadcast fill concurrency cap).
+	fillSem chan struct{}
 
 	mu       sync.Mutex
 	segs     map[int][]byte
@@ -220,7 +229,13 @@ type Replica struct {
 	staleServes       atomic.Int64
 	evictions         atomic.Int64
 	prefetchDropped   atomic.Int64
+	fillCapWaits      atomic.Int64
+	warmups           atomic.Int64
 }
+
+// DefaultFillConcurrency is the per-broadcast cap on concurrent upstream
+// segment fetches.
+const DefaultFillConcurrency = 4
 
 // NewReplica builds an edge replica pulling from cfg.Source.
 func NewReplica(cfg ReplicaConfig) *Replica {
@@ -242,6 +257,9 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.MaxConcurrentFills <= 0 {
+		cfg.MaxConcurrentFills = DefaultFillConcurrency
+	}
 	return &Replica{
 		src:         cfg.Source,
 		keep:        cfg.Window + 2, // parity with Segmenter.maxKeep
@@ -249,6 +267,7 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 		fillTimeout: cfg.FillTimeout,
 		enqueue:     cfg.Enqueue,
 		now:         cfg.Now,
+		fillSem:     make(chan struct{}, cfg.MaxConcurrentFills),
 		segs:        map[int][]byte{},
 		maxSeq:      -1,
 		inflight:    map[int]*fillResult{},
@@ -271,8 +290,17 @@ type ReplicaStats struct {
 	StaleServes int64
 	// Evictions counts segments dropped by the sliding cache window.
 	Evictions int64
-	// PrefetchDropped counts background jobs the fill queue rejected.
+	// PrefetchDropped counts background jobs the fill queue rejected or
+	// the fill concurrency cap skipped.
 	PrefetchDropped int64
+	// FillCapWaits counts demand fills that found the per-broadcast fill
+	// concurrency cap saturated and had to queue — a non-zero value is the
+	// observable signature of a capped hot broadcast. FillCap echoes the
+	// configured cap.
+	FillCapWaits int64
+	FillCap      int
+	// Warmups counts promotion warm-ups scheduled for this replica.
+	Warmups int64
 	// CachedSegments is the current cache occupancy.
 	CachedSegments int
 	// PlaylistAge is the time since the cached playlist was fetched from
@@ -294,6 +322,9 @@ func (r *Replica) Stats() ReplicaStats {
 		StaleServes:       r.staleServes.Load(),
 		Evictions:         r.evictions.Load(),
 		PrefetchDropped:   r.prefetchDropped.Load(),
+		FillCapWaits:      r.fillCapWaits.Load(),
+		FillCap:           cap(r.fillSem),
+		Warmups:           r.warmups.Load(),
 	}
 	r.mu.Lock()
 	st.CachedSegments = len(r.segs)
@@ -382,9 +413,32 @@ func (r *Replica) Segment(ctx context.Context, seq int) ([]byte, error) {
 	}
 }
 
+// acquireFill takes a slot of the per-broadcast fill cap, counting the
+// acquisitions that had to wait for one.
+func (r *Replica) acquireFill() {
+	select {
+	case r.fillSem <- struct{}{}:
+	default:
+		r.fillCapWaits.Add(1)
+		r.fillSem <- struct{}{}
+	}
+}
+
+func (r *Replica) releaseFill() { <-r.fillSem }
+
 // fillSegment performs the detached origin fetch backing one single-flight
-// entry and publishes the result to every waiter.
+// entry and publishes the result to every waiter. The fetch holds one slot
+// of the per-broadcast fill cap, so a broadcast with a segment storm queues
+// here instead of monopolizing its peers and the origin link.
 func (r *Replica) fillSegment(seq int, f *fillResult) {
+	r.acquireFill()
+	r.fillSegmentReserved(seq, f)
+}
+
+// fillSegmentReserved runs the upstream fetch with a fill-cap slot already
+// held, publishes the result, and releases the slot.
+func (r *Replica) fillSegmentReserved(seq int, f *fillResult) {
+	defer r.releaseFill()
 	ctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
 	defer cancel()
 	data, err := r.src.FetchSegment(ctx, seq)
@@ -428,6 +482,54 @@ func (r *Replica) evictLocked() {
 			r.evictions.Add(1)
 		}
 	}
+}
+
+// CachedSegment returns a segment only if the edge already holds it — the
+// cache-only read backing the peer-fill protocol, which must never trigger
+// a recursive fill.
+func (r *Replica) CachedSegment(seq int) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data, ok := r.segs[seq]
+	return data, ok
+}
+
+// WarmUp schedules a background playlist fetch — which prefetches the live
+// window — so a freshly promoted or registered replica is warm before its
+// first viewer arrives, instead of that viewer paying the cold-cache miss
+// storm. On a replica that already holds a (possibly empty or stale)
+// playlist it schedules a revalidation instead: a promotion-time warm-up
+// runs before the first segment is cut, so the caller re-warms once
+// content exists. Final playlists need no warming. It reports whether the
+// warm-up was scheduled (or already pending), so a caller can retry a
+// rejection from a saturated fill queue.
+func (r *Replica) WarmUp() bool {
+	r.mu.Lock()
+	if r.plRaw != nil {
+		scheduled := true
+		if !r.final {
+			scheduled = r.scheduleRefreshLocked()
+			if scheduled {
+				r.warmups.Add(1)
+			}
+		}
+		r.mu.Unlock()
+		return scheduled
+	}
+	r.mu.Unlock()
+	accepted := r.enqueue(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
+		defer cancel()
+		// Cold single-flight playlist fetch; its success path prefetches
+		// every listed segment.
+		r.Playlist(ctx)
+	})
+	if accepted {
+		r.warmups.Add(1)
+	} else {
+		r.prefetchDropped.Add(1)
+	}
+	return accepted
 }
 
 // Playlist returns the marshalled playlist and its parsed form. A cached
@@ -515,11 +617,43 @@ func (r *Replica) storePlaylistLocked(raw []byte, pl MediaPlaylist) {
 	r.evictLocked()
 }
 
-// scheduleRefreshLocked queues one async revalidation; while it is
-// pending, further stale serves do not pile up more refreshes.
-func (r *Replica) scheduleRefreshLocked() {
-	if r.plRefreshing {
+// prefetchSegment fills seq on a background worker if it is neither
+// cached nor in flight AND a fill-cap slot is immediately free. The
+// check-and-reserve is atomic (non-blocking send under the replica lock),
+// so a capped hot broadcast can never park a fill worker behind its
+// demand queue — the skipped segment is re-offered by the next
+// stale-revalidate cycle.
+func (r *Replica) prefetchSegment(seq int) {
+	r.mu.Lock()
+	if _, have := r.segs[seq]; have {
+		r.mu.Unlock()
 		return
+	}
+	if _, filling := r.inflight[seq]; filling {
+		r.mu.Unlock()
+		return
+	}
+	select {
+	case r.fillSem <- struct{}{}:
+	default:
+		r.mu.Unlock()
+		r.prefetchDropped.Add(1)
+		return
+	}
+	f := &fillResult{done: make(chan struct{})}
+	r.inflight[seq] = f
+	r.mu.Unlock()
+	// Demand requests arriving now coalesce onto this fill (single-flight).
+	r.fillSegmentReserved(seq, f)
+}
+
+// scheduleRefreshLocked queues one async revalidation; while it is
+// pending, further stale serves do not pile up more refreshes. It reports
+// whether a revalidation is now scheduled or already pending (false only
+// when the fill queue rejected the job).
+func (r *Replica) scheduleRefreshLocked() bool {
+	if r.plRefreshing {
+		return true
 	}
 	r.plRefreshing = true
 	accepted := r.enqueue(func() {
@@ -540,6 +674,7 @@ func (r *Replica) scheduleRefreshLocked() {
 		r.plRefreshing = false
 		r.prefetchDropped.Add(1)
 	}
+	return accepted
 }
 
 // prefetch warms the cache with listed segments the edge does not hold
@@ -555,11 +690,7 @@ func (r *Replica) prefetch(pl MediaPlaylist) {
 		if have || filling {
 			continue
 		}
-		accepted := r.enqueue(func() {
-			ctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
-			defer cancel()
-			r.Segment(ctx, seq) // single-flight dedups against demand fills
-		})
+		accepted := r.enqueue(func() { r.prefetchSegment(seq) })
 		if !accepted {
 			r.prefetchDropped.Add(1)
 		}

@@ -7,6 +7,7 @@ package netem
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -171,6 +172,112 @@ func (s *Shaper) HTTPClient() *http.Client {
 
 // Mbps converts megabits/second to bits/second for Shaper fields.
 func Mbps(v float64) float64 { return v * 1e6 }
+
+// Link models one fixed wide-area path between two datacenters (POP →
+// origin, POP → peer POP): a round-trip latency charged once per HTTP
+// request plus an optional bandwidth cap paced over the response body,
+// with request/byte metering. Where Shaper emulates a viewer's access
+// link at the connection layer, Link shapes the CDN's internal fill
+// paths at the request layer — keep-alive connection reuse must not let
+// later fills skip the propagation delay.
+type Link struct {
+	// RTT is the modelled round-trip time charged to every request.
+	RTT time.Duration
+	// Bandwidth caps the response-body rate in bits per second (0 = no
+	// cap). The bucket is shared by all requests on the link, modelling
+	// one bottleneck path.
+	Bandwidth float64
+
+	once   sync.Once
+	bucket *TokenBucket
+
+	mu       sync.Mutex
+	requests int64
+	bytes    int64
+}
+
+func (l *Link) init() {
+	l.once.Do(func() {
+		if l.Bandwidth > 0 {
+			l.bucket = NewTokenBucket(l.Bandwidth/8, 64*1024)
+		}
+	})
+}
+
+// Requests reports how many HTTP requests traversed the link.
+func (l *Link) Requests() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.requests
+}
+
+// Bytes reports response-body bytes transferred over the link.
+func (l *Link) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Client returns an *http.Client whose requests pay the link's RTT and
+// whose response bodies are paced at the link's bandwidth. Each Link has
+// its own connection pool so per-link keep-alive mirrors a persistent
+// inter-datacenter path.
+func (l *Link) Client() *http.Client {
+	return &http.Client{Transport: l.Transport(nil)}
+}
+
+// Transport wraps base (http.DefaultTransport-equivalent when nil) with
+// the link's shaping.
+func (l *Link) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = &http.Transport{MaxIdleConnsPerHost: 8}
+	}
+	return &linkTransport{l: l, base: base}
+}
+
+type linkTransport struct {
+	l    *Link
+	base http.RoundTripper
+}
+
+func (t *linkTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.l.init()
+	if t.l.RTT > 0 {
+		// One round trip covers request propagation plus first response
+		// byte; body pacing below accounts for the rest.
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(t.l.RTT):
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	t.l.mu.Lock()
+	t.l.requests++
+	t.l.mu.Unlock()
+	resp.Body = &linkBody{ReadCloser: resp.Body, l: t.l}
+	return resp, nil
+}
+
+// linkBody paces and meters a response body.
+type linkBody struct {
+	io.ReadCloser
+	l *Link
+}
+
+func (b *linkBody) Read(p []byte) (int, error) {
+	n, err := b.ReadCloser.Read(p)
+	if n > 0 {
+		b.l.bucket.Take(n)
+		b.l.mu.Lock()
+		b.l.bytes += int64(n)
+		b.l.mu.Unlock()
+	}
+	return n, err
+}
 
 // RateMeter computes a windowed throughput estimate from byte timestamps,
 // the tool behind "we saw an increase of the aggregate data rate from

@@ -1,8 +1,11 @@
 package netem
 
 import (
+	"context"
 	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -99,6 +102,82 @@ func TestShaperLatency(t *testing.T) {
 	}
 	if e := time.Since(start); e < 90*time.Millisecond {
 		t.Errorf("first byte after %v, want >= 100ms", e)
+	}
+}
+
+func TestLinkRTTAndMetering(t *testing.T) {
+	payload := []byte("segment-bytes")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	l := &Link{RTT: 60 * time.Millisecond}
+	cli := l.Client()
+	for i := 0; i < 2; i++ {
+		// Every request pays the RTT, including ones reusing a keep-alive
+		// connection — that is the difference from Shaper's per-conn delay.
+		start := time.Now()
+		resp, err := cli.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != string(payload) {
+			t.Fatalf("body = %q, err = %v", body, err)
+		}
+		if e := time.Since(start); e < 55*time.Millisecond {
+			t.Errorf("request %d completed in %v, want >= 60ms", i, e)
+		}
+	}
+	if got := l.Requests(); got != 2 {
+		t.Errorf("Requests = %d, want 2", got)
+	}
+	if got := l.Bytes(); got != int64(2*len(payload)) {
+		t.Errorf("Bytes = %d, want %d", got, 2*len(payload))
+	}
+}
+
+func TestLinkBandwidthPacesBody(t *testing.T) {
+	payload := make([]byte, 200_000) // 1.6 Mbit
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	l := &Link{Bandwidth: Mbps(8)} // ~0.2 s for 1.6 Mbit
+	start := time.Now()
+	resp, err := l.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(got) != len(payload) {
+		t.Fatalf("read %d bytes, err %v", len(got), err)
+	}
+	if e := time.Since(start); e < 100*time.Millisecond {
+		t.Errorf("download finished in %v; link pacing ineffective", e)
+	}
+}
+
+func TestLinkCancelledDuringRTT(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	l := &Link{RTT: 5 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := l.Client().Do(req); err == nil {
+		t.Fatal("want context error during RTT wait")
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("cancellation took %v; RTT sleep not interruptible", e)
+	}
+	if l.Requests() != 0 {
+		t.Errorf("cancelled request was counted")
 	}
 }
 

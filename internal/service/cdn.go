@@ -2,15 +2,19 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"periscope/internal/geo"
 	"periscope/internal/hls"
+	"periscope/internal/netem"
 )
 
 // The CDN is modelled as two tiers, matching the paper's observation that
@@ -19,12 +23,22 @@ import (
 //   - an origin tier holding one hls.Origin per popular broadcast (the
 //     "transcode, repackage and deliver to Fastly" output), and
 //   - edge POPs, each holding an hls.Replica per broadcast that fills
-//     segments origin→POP asynchronously (single-flight per segment,
-//     sliding-window cache) and serves stale-while-revalidate playlists.
+//     segments asynchronously (single-flight per segment, sliding-window
+//     cache) and serves stale-while-revalidate playlists.
+//
+// The POPs have a geography (PR 5): each one is placed in a geo.Region,
+// every fill path (POP→origin and POP→peer) runs through a netem.Link
+// whose RTT derives from great-circle distance, and fills are
+// hierarchical — a missing segment is probed from peer POPs that are
+// strictly nearer than the origin (cache-only, nearest first) before
+// falling back to the origin, so origin egress per cold segment is
+// O(clusters), not O(POPs). Promotions warm replicas in the background,
+// and a per-broadcast fill concurrency cap bounds one hot broadcast's
+// pull on its peers.
 //
 // Edge playlist lag is therefore a real, measurable quantity instead of a
-// pointer-sharing fiction; fills, coalesced requests, staleness and
-// evictions surface in the service snapshot.
+// pointer-sharing fiction; fills (peer vs origin), coalesced requests,
+// staleness, warm-ups and evictions surface in the service snapshot.
 
 // cdnDrainTimeout bounds the graceful drain of a POP's HTTP server at
 // shutdown: in-flight segment responses get this long to complete before
@@ -142,9 +156,9 @@ func (o *originTier) close() {
 	}
 }
 
-// splitHLSPath parses "/hls/<id>/<file>".
-func splitHLSPath(path string) (id, file string, ok bool) {
-	rest := strings.TrimPrefix(path, "/hls/")
+// splitMountPath parses "<prefix><id>/<file>" (e.g. "/hls/<id>/<file>").
+func splitMountPath(path, prefix string) (id, file string, ok bool) {
+	rest := strings.TrimPrefix(path, prefix)
 	slash := strings.IndexByte(rest, '/')
 	if rest == path || slash < 0 {
 		return "", "", false
@@ -152,34 +166,101 @@ func splitHLSPath(path string) (id, file string, ok bool) {
 	return rest[:slash], rest[slash+1:], true
 }
 
+// splitHLSPath parses "/hls/<id>/<file>".
+func splitHLSPath(path string) (id, file string, ok bool) {
+	return splitMountPath(path, "/hls/")
+}
+
 // cdnPOP is one CDN edge (the study saw exactly two HLS delivery IPs,
-// "located somewhere in Europe and in San Francisco"). Each registered
-// broadcast is an hls.Replica filling from the origin tier; one fill
-// worker per POP runs the background revalidations and prefetches.
+// "located somewhere in Europe and in San Francisco" — the default
+// placement). Each registered broadcast is an hls.Replica filling
+// hierarchically: peer POPs nearer than the origin first (cache-only,
+// over /peer/), then the origin tier. One fill worker pool per POP runs
+// the background revalidations, prefetches and promotion warm-ups.
 type cdnPOP struct {
-	svc   *Service
-	index int
-	ln    net.Listener
-	srv   *http.Server
-	fill  *hls.FillWorker
+	svc    *Service
+	index  int
+	region geo.Region
+	ln     net.Listener
+	srv    *http.Server
+	fill   *hls.FillWorker
+
+	// originLink/originHTTP shape the POP→origin fill path; peers are the
+	// fill candidates strictly nearer than the origin, nearest first, each
+	// with its own shaped link. Wired once by wireCDNTopology before the
+	// service accepts traffic, immutable afterwards.
+	originLink *netem.Link
+	originHTTP *http.Client
+	peers      []popPeer
 
 	mu       sync.RWMutex
 	replicas map[string]popReplica
+	// retired accumulates the cumulative counters of replicas that have
+	// been unregistered (broadcast churn) or replaced (relaunch), so the
+	// POP's snapshot metrics stay monotonic however many broadcasts come
+	// and go. Guarded by mu.
+	retired retiredReplicaStats
 
-	// Requests and Bytes count traffic served to viewers.
-	Requests atomic.Int64
-	Bytes    atomic.Int64
+	// Requests and Bytes count traffic served to viewers. PeerRequests
+	// counts probes arriving from peer POPs, PeerServes the ones answered
+	// from cache (PeerBytesOut their volume) — the serving side of the
+	// peer-fill protocol.
+	Requests     atomic.Int64
+	Bytes        atomic.Int64
+	PeerRequests atomic.Int64
+	PeerServes   atomic.Int64
+	PeerBytesOut atomic.Int64
+}
+
+// retiredReplicaStats holds the counter-typed (not gauge-typed) fields of
+// departed replicas' stats.
+type retiredReplicaStats struct {
+	fills, fillBytes, fillErrors, singleFlightHits    int64
+	peerFills, peerFillBytes, peerMisses, originFills int64
+	warmups, fillCapWaits                             int64
+	playlistRefreshes, staleServes, evictions         int64
+}
+
+// foldRetiredLocked absorbs a departing replica's counters (caller holds
+// p.mu).
+func (p *cdnPOP) foldRetiredLocked(e popReplica) {
+	rs := e.rep.Stats()
+	ts := e.src.Stats()
+	r := &p.retired
+	r.fills += rs.Fills
+	r.fillBytes += rs.FillBytes
+	r.fillErrors += rs.FillErrors
+	r.singleFlightHits += rs.SingleFlightHits
+	r.warmups += rs.Warmups
+	r.fillCapWaits += rs.FillCapWaits
+	r.playlistRefreshes += rs.PlaylistRefreshes
+	r.staleServes += rs.StaleServes
+	r.evictions += rs.Evictions
+	r.peerFills += ts.PeerFills
+	r.peerFillBytes += ts.PeerFillBytes
+	r.peerMisses += ts.PeerMisses
+	r.originFills += ts.OriginFills
+}
+
+// popPeer is one fill candidate of a POP: a peer POP and the shaped link
+// to it.
+type popPeer struct {
+	pop    *cdnPOP
+	link   *netem.Link
+	client *http.Client
 }
 
 // popReplica pairs an edge replica with the origin segmenter it was
 // registered for, so conditional unregistration (end-linger timers) can
-// tell an ended broadcast's replica from a re-registered live one.
+// tell an ended broadcast's replica from a re-registered live one, and
+// with its tiered fill source for the peer/origin split in stats.
 type popReplica struct {
 	seg *hls.Segmenter
 	rep *hls.Replica
+	src *hls.TieredSource
 }
 
-func newCDNPOP(svc *Service, index int) (*cdnPOP, error) {
+func newCDNPOP(svc *Service, index int, region geo.Region) (*cdnPOP, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -187,6 +268,7 @@ func newCDNPOP(svc *Service, index int) (*cdnPOP, error) {
 	pop := &cdnPOP{
 		svc:      svc,
 		index:    index,
+		region:   region,
 		ln:       ln,
 		fill:     hls.NewFillWorker(popFillQueueDepth, popFillWorkers),
 		replicas: map[string]popReplica{},
@@ -199,33 +281,80 @@ func newCDNPOP(svc *Service, index int) (*cdnPOP, error) {
 func (p *cdnPOP) baseURL() string { return "http://" + p.ln.Addr().String() }
 
 // register exposes a broadcast at /hls/<id>/ through an edge replica
-// pulling from the origin tier. Re-registering the same segmenter keeps
-// the warm replica; a different segmenter (broadcast re-went live during
-// a linger) replaces it with a cold one. The replica's cache window and
-// playlist TTL derive from the origin segmenter's parameters.
+// filling hierarchically: peer POPs nearer than the origin first
+// (cache-only probes against their /peer/ mounts), then the origin tier.
+// Re-registering the same segmenter keeps the warm replica; a different
+// segmenter (broadcast re-went live during a linger) replaces it with a
+// cold one. The replica's cache window and playlist TTL derive from the
+// origin segmenter's parameters; its fill concurrency cap from the
+// service config.
 func (p *cdnPOP) register(id string, seg *hls.Segmenter) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if cur, ok := p.replicas[id]; ok && cur.seg == seg {
-		return
+	if cur, ok := p.replicas[id]; ok {
+		if cur.seg == seg {
+			return
+		}
+		// Replacing an ended replica (relaunch): keep its counters.
+		p.foldRetiredLocked(cur)
+	}
+	src := &hls.TieredSource{
+		Origin: &hls.FillClient{BaseURL: p.svc.origin.baseURL() + "/hls/" + id, HTTP: p.originHTTP},
+	}
+	for _, pr := range p.peers {
+		src.Peers = append(src.Peers, &hls.FillClient{BaseURL: pr.pop.baseURL() + "/peer/" + id, HTTP: pr.client})
 	}
 	p.replicas[id] = popReplica{
 		seg: seg,
+		src: src,
 		rep: hls.NewReplica(hls.ReplicaConfig{
-			Source:         &hls.FillClient{BaseURL: p.svc.origin.baseURL() + "/hls/" + id},
-			Window:         seg.WindowSize(),
-			TargetDuration: seg.Target(),
-			Enqueue:        p.fill.Enqueue,
+			Source:             src,
+			Window:             seg.WindowSize(),
+			TargetDuration:     seg.Target(),
+			MaxConcurrentFills: p.svc.cfg.CDNFillConcurrency,
+			Enqueue:            p.fill.Enqueue,
 		}),
 	}
 }
 
+// warm schedules the broadcast's replica warm-up (background playlist
+// fetch plus live-window prefetch), so a promotion does not eat a
+// first-viewer miss storm. Live promotions warm; replay (VOD) mounts do
+// not — prefetching a whole VOD into every POP would be the opposite of
+// an optimization. It reports whether the warm-up was scheduled.
+func (p *cdnPOP) warm(id string) bool {
+	rep := p.replica(id)
+	if rep == nil {
+		return false
+	}
+	return rep.WarmUp()
+}
+
+// isClusterAnchor reports whether this POP is its cluster's designated
+// origin-filler: the lowest-indexed member among itself and its peer
+// candidates. Only anchors warm on promotion — if every POP warmed at
+// once, all peer caches would be cold at probe time and each POP's
+// warm-up would fall through to the origin, turning the promotion burst
+// into O(POPs) origin egress. A follower's first fill instead probes its
+// (by then warm) anchor.
+func (p *cdnPOP) isClusterAnchor() bool {
+	for _, pr := range p.peers {
+		if pr.pop.index < p.index {
+			return false
+		}
+	}
+	return true
+}
+
 // unregister drops the broadcast's replica (and its cached segments) —
-// but only if it still serves seg; nil unregisters unconditionally.
+// but only if it still serves seg; nil unregisters unconditionally. The
+// replica's counters fold into the POP's retired aggregate so snapshot
+// metrics stay cumulative across broadcast churn.
 func (p *cdnPOP) unregister(id string, seg *hls.Segmenter) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if cur, ok := p.replicas[id]; ok && (seg == nil || cur.seg == seg) {
+		p.foldRetiredLocked(cur)
 		delete(p.replicas, id)
 	}
 }
@@ -245,8 +374,13 @@ func (p *cdnPOP) replica(id string) *hls.Replica {
 	return p.replicas[id].rep
 }
 
-// ServeHTTP routes /hls/<broadcastID>/<file> to the broadcast's replica.
+// ServeHTTP routes /hls/<broadcastID>/<file> (viewer-facing, fills on
+// miss) and /peer/<broadcastID>/<file> (peer-facing, cache-only).
 func (p *cdnPOP) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if id, file, ok := splitMountPath(r.URL.Path, "/peer/"); ok {
+		p.servePeer(w, r, id, file)
+		return
+	}
 	p.Requests.Add(1)
 	id, _, ok := splitHLSPath(r.URL.Path)
 	if !ok {
@@ -265,6 +399,34 @@ func (p *cdnPOP) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.Bytes.Add(cw.n)
 }
 
+// servePeer answers another POP's fill probe from cache only: a 404 means
+// "I don't hold it, go elsewhere" — a probe must never trigger this POP's
+// own fill path, or cold segments would cascade through the mesh.
+func (p *cdnPOP) servePeer(w http.ResponseWriter, r *http.Request, id, file string) {
+	p.PeerRequests.Add(1)
+	rep := p.replica(id)
+	if rep == nil {
+		http.NotFound(w, r)
+		return
+	}
+	seq, err := hls.ParseSegmentName(file)
+	if err != nil {
+		// Peers only exchange segments; playlists are origin-only.
+		http.Error(w, "peer protocol serves segments only", http.StatusBadRequest)
+		return
+	}
+	data, ok := rep.CachedSegment(seq)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	p.PeerServes.Add(1)
+	p.PeerBytesOut.Add(int64(len(data)))
+	w.Header().Set("Content-Type", "video/MP2T")
+	w.Header().Set("Cache-Control", "max-age=3600")
+	w.Write(data)
+}
+
 // close drains the POP gracefully: in-flight segment responses complete
 // (up to cdnDrainTimeout) instead of being cut mid-body, then the fill
 // worker stops.
@@ -280,20 +442,40 @@ func (p *cdnPOP) close() {
 // stats aggregates the POP's counters and its replicas' fill metrics.
 func (p *cdnPOP) stats() POPSnapshot {
 	st := POPSnapshot{
-		Index:    p.index,
-		Requests: p.Requests.Load(),
-		Bytes:    p.Bytes.Load(),
+		Index:        p.index,
+		Region:       p.region.Name,
+		Requests:     p.Requests.Load(),
+		Bytes:        p.Bytes.Load(),
+		PeerRequests: p.PeerRequests.Load(),
+		PeerServes:   p.PeerServes.Load(),
+		PeerBytesOut: p.PeerBytesOut.Load(),
 	}
 	p.mu.RLock()
-	reps := make([]*hls.Replica, 0, len(p.replicas))
+	entries := make([]popReplica, 0, len(p.replicas))
 	for _, e := range p.replicas {
-		reps = append(reps, e.rep)
+		entries = append(entries, e)
 	}
+	// Departed replicas' counters: churned broadcasts must not make the
+	// cumulative fill metrics dip.
+	ret := p.retired
 	p.mu.RUnlock()
-	st.Broadcasts = len(reps)
+	st.Fills = ret.fills
+	st.FillBytes = ret.fillBytes
+	st.FillErrors = ret.fillErrors
+	st.SingleFlightHits = ret.singleFlightHits
+	st.Warmups = ret.warmups
+	st.FillCapWaits = ret.fillCapWaits
+	st.PlaylistRefreshes = ret.playlistRefreshes
+	st.StaleServes = ret.staleServes
+	st.Evictions = ret.evictions
+	st.PeerFills = ret.peerFills
+	st.PeerFillBytes = ret.peerFillBytes
+	st.PeerMisses = ret.peerMisses
+	st.OriginFills = ret.originFills
+	st.Broadcasts = len(entries)
 	st.FillQueueDropped = p.fill.Dropped.Load()
-	for _, rep := range reps {
-		rs := rep.Stats()
+	for _, e := range entries {
+		rs := e.rep.Stats()
 		st.Fills += rs.Fills
 		st.FillBytes += rs.FillBytes
 		st.FillErrors += rs.FillErrors
@@ -302,11 +484,119 @@ func (p *cdnPOP) stats() POPSnapshot {
 		st.StaleServes += rs.StaleServes
 		st.Evictions += rs.Evictions
 		st.CachedSegments += rs.CachedSegments
+		st.Warmups += rs.Warmups
+		st.FillCapWaits += rs.FillCapWaits
+		if rs.FillCap > st.FillCap {
+			st.FillCap = rs.FillCap
+		}
 		if rs.PlaylistAge > st.MaxPlaylistAge {
 			st.MaxPlaylistAge = rs.PlaylistAge
 		}
+		ts := e.src.Stats()
+		st.PeerFills += ts.PeerFills
+		st.PeerFillBytes += ts.PeerFillBytes
+		st.PeerMisses += ts.PeerMisses
+		st.OriginFills += ts.OriginFills
+	}
+	if st.FillCap == 0 {
+		st.FillCap = effectiveFillCap(p.svc.cfg.CDNFillConcurrency)
 	}
 	return st
+}
+
+// effectiveFillCap resolves the configured per-broadcast fill concurrency
+// cap to the value replicas actually run with.
+func effectiveFillCap(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return hls.DefaultFillConcurrency
+}
+
+// defaultPOPRegions is the placement order when the config names none:
+// the first two match the paper's observation ("located somewhere in
+// Europe and in San Francisco"), further POPs spread across the remaining
+// regions.
+var defaultPOPRegions = []string{
+	"us-west", "eu-west", "us-east", "eu-east",
+	"asia-east", "south-america", "middle-east", "oceania",
+}
+
+// resolvePOPRegions maps the config onto one region per POP.
+func resolvePOPRegions(cfg Config, regions []geo.Region) ([]geo.Region, error) {
+	names := cfg.CDNPOPRegions
+	if len(names) == 0 {
+		n := cfg.CDNPOPs
+		if n <= 0 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			names = append(names, defaultPOPRegions[i%len(defaultPOPRegions)])
+		}
+	}
+	out := make([]geo.Region, 0, len(names))
+	for _, name := range names {
+		reg, ok := geo.RegionByName(regions, name)
+		if !ok {
+			return nil, fmt.Errorf("unknown CDN POP region %q", name)
+		}
+		out = append(out, reg)
+	}
+	return out, nil
+}
+
+// wireCDNTopology builds each POP's shaped fill paths once every POP
+// exists: a link to the origin whose RTT derives from great-circle
+// distance, and an ordered peer list holding every POP strictly nearer
+// than the origin (nearest first) — the candidates a missing segment is
+// probed from before origin fallback. Topology decisions use unscaled
+// geographic RTTs; CDNLinkRTTScale only scales the modelled delay (0
+// means the default scale of 1; tests and benchmarks set it NEGATIVE to
+// keep the hierarchy without the sleeps).
+func (s *Service) wireCDNTopology() {
+	scale := s.cfg.CDNLinkRTTScale
+	if scale == 0 {
+		scale = 1
+	} else if scale < 0 {
+		scale = 0
+	}
+	originLoc := s.originRegion.Bounds.Center()
+	for _, p := range s.cdn {
+		pLoc := p.region.Bounds.Center()
+		originRTT := geo.LinkRTT(pLoc, originLoc)
+		p.originLink = &netem.Link{
+			RTT:       time.Duration(float64(originRTT) * scale),
+			Bandwidth: s.cfg.CDNLinkBandwidth,
+		}
+		p.originHTTP = p.originLink.Client()
+		type candidate struct {
+			pop *cdnPOP
+			rtt time.Duration
+		}
+		var cands []candidate
+		for _, q := range s.cdn {
+			if q == p {
+				continue
+			}
+			rtt := geo.LinkRTT(pLoc, q.region.Bounds.Center())
+			if rtt < originRTT {
+				cands = append(cands, candidate{q, rtt})
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].rtt != cands[j].rtt {
+				return cands[i].rtt < cands[j].rtt
+			}
+			return cands[i].pop.index < cands[j].pop.index
+		})
+		for _, c := range cands {
+			link := &netem.Link{
+				RTT:       time.Duration(float64(c.rtt) * scale),
+				Bandwidth: s.cfg.CDNLinkBandwidth,
+			}
+			p.peers = append(p.peers, popPeer{pop: c.pop, link: link, client: link.Client()})
+		}
+	}
 }
 
 // countingWriter counts bytes served without masking the wrapped

@@ -12,20 +12,24 @@ import (
 
 	"periscope/internal/api"
 	"periscope/internal/avc"
+	"periscope/internal/geo"
 	"periscope/internal/hls"
 	"periscope/internal/media"
 )
 
 // newTestCDN builds a standalone origin tier plus one POP, without the
-// rest of the service (no API, ingest, chat).
+// rest of the service (no API, ingest, chat) and without topology wiring
+// (no shaped links, no peers): the POP fills straight from the origin.
 func newTestCDN(t testing.TB) (*Service, *cdnPOP) {
 	t.Helper()
 	origin, err := newOriginTier()
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := &Service{cfg: DefaultConfig(), origin: origin}
-	pop, err := newCDNPOP(svc, 0)
+	svc := &Service{cfg: DefaultConfig(), origin: origin, regions: geo.Regions()}
+	svc.originRegion, _ = geo.RegionByName(svc.regions, svc.cfg.CDNOriginRegion)
+	reg, _ := geo.RegionByName(svc.regions, "us-west")
+	pop, err := newCDNPOP(svc, 0, reg)
 	if err != nil {
 		origin.close()
 		t.Fatal(err)
@@ -412,6 +416,14 @@ func TestSnapshotSurfacesFillAndDeliveryMetrics(t *testing.T) {
 	}
 	if ps.Requests != 2 {
 		t.Errorf("POP requests = %d, want 2", ps.Requests)
+	}
+	if ps.Region != "us-west" {
+		t.Errorf("POP region = %q, want us-west", ps.Region)
+	}
+	// The per-broadcast fill concurrency cap is surfaced even before it
+	// ever saturates: a capped broadcast must be observable, not silent.
+	if ps.FillCap != hls.DefaultFillConcurrency {
+		t.Errorf("POP fill cap = %d, want the default %d", ps.FillCap, hls.DefaultFillConcurrency)
 	}
 	d := snap.Delivery
 	if d.Drops != 7 || d.Resyncs != 3 || d.HopelessDisconnects != 1 {

@@ -466,6 +466,7 @@ func (f *hlsFeed) run() {
 		case m := <-f.ch:
 			if seg := f.h.seg.Load(); seg != nil {
 				feedSegmenter(seg, m.typeID, m.timestamp, m.sp.Bytes(), m.vt)
+				f.h.maybeWarmAfterFirstSegment(seg)
 			}
 			m.sp.Release()
 		}
@@ -498,6 +499,10 @@ type hub struct {
 	seqHdrs atomic.Pointer[seqHeaders]
 	seg     atomic.Pointer[hls.Segmenter]
 	feed    atomic.Pointer[hlsFeed]
+	// warmedWindow flips once the first HLS segment exists and the cluster
+	// anchors have been re-warmed: the promotion-time warm-up ran against
+	// an empty window, so there was nothing to prefetch yet.
+	warmedWindow atomic.Bool
 
 	// stats are the shard-level delivery counters (drops, resyncs,
 	// hopeless disconnects), folded into the service aggregate when the
@@ -768,9 +773,35 @@ func (h *hub) onMedia(msg rtmp.Message) {
 			f.publish(feedMsg{typeID: msg.TypeID, timestamp: msg.Timestamp, vt: vt, sp: sp})
 		} else {
 			feedSegmenter(seg, msg.TypeID, msg.Timestamp, msg.Payload, vt)
+			h.maybeWarmAfterFirstSegment(seg)
 		}
 	}
 	sp.Release()
+}
+
+// maybeWarmAfterFirstSegment re-warms the cluster anchors once the
+// segmenter has cut its first segment. The warm-up scheduled at promotion
+// fetched an empty playlist, so the prefetch that actually populates the
+// anchors — and lets their cluster followers peer-fill instead of hitting
+// the origin — has to run again when there is a window to prefetch. If an
+// anchor's fill queue rejects the job, the flag reverts so a later media
+// message retries instead of losing the re-warm for good.
+func (h *hub) maybeWarmAfterFirstSegment(seg *hls.Segmenter) {
+	if h.warmedWindow.Load() || seg.SegmentCount() == 0 {
+		return
+	}
+	if !h.warmedWindow.CompareAndSwap(false, true) {
+		return
+	}
+	scheduled := true
+	for _, pop := range h.svc.cdn {
+		if pop.isClusterAnchor() && !pop.warm(h.b.ID) {
+			scheduled = false
+		}
+	}
+	if !scheduled {
+		h.warmedWindow.Store(false)
+	}
 }
 
 // feedSegmenter repackages FLV tags into the MPEG-TS segmenter — the
@@ -817,6 +848,14 @@ func (h *hub) enableHLS() error {
 	h.svc.origin.register(h.b.ID, seg)
 	for _, pop := range h.svc.cdn {
 		pop.register(h.b.ID, seg)
+		// Promotion warm-up: cluster anchors prefetch the live window in
+		// the background so the first viewer does not eat a cold-cache miss
+		// storm. Followers stay cold on purpose — their first fill probes
+		// the warm anchor peer, keeping promotion origin egress at
+		// O(clusters) instead of every POP warming from origin at once.
+		if pop.isClusterAnchor() {
+			pop.warm(h.b.ID)
+		}
 	}
 	if !h.serial {
 		f := &hlsFeed{h: h, ch: make(chan feedMsg, feedQueueDepth), quit: make(chan struct{})}

@@ -2,11 +2,24 @@
 // the JSON API (internal/api), one RTMP ingest/relay server per world
 // region (the "EC2 vidman" machines of §3 — region-nearest to the
 // broadcaster), the popularity-triggered HLS pipeline (repackage the RTMP
-// stream into MPEG-TS segments at an origin tier and serve them from a
-// small number of CDN POPs whose edge replicas fill origin→POP
-// asynchronously, as the paper observed: all HLS streams came from two IP
-// addresses while 87 RTMP servers were seen), and the WebSocket chat with
-// its avatar store.
+// stream into MPEG-TS segments at an origin tier and serve them from
+// geo-placed CDN POPs, as the paper observed: all HLS streams came from
+// two IP addresses — one in San Francisco, one in Europe — while 87 RTMP
+// servers were seen), and the WebSocket chat with its avatar store.
+//
+// The CDN has a geography: each POP lives in a geo.Region, fill paths are
+// shaped by links whose RTT derives from great-circle distance, and a
+// missing segment fills hierarchically — nearest peer POP first
+// (cache-only probes), origin as fallback — so origin egress per cold
+// segment is O(clusters), not O(POPs). Promotions warm edge replicas in
+// the background, and per-broadcast fill concurrency caps bound a hot
+// broadcast's pull on its peers.
+//
+// The broadcast lifecycle is driven end-to-end by the population: a
+// scheduled Broadcast.End fires Service.EndBroadcast through the
+// population's end hook (ENDLIST playlists at origin and every POP, a
+// linger for draining viewers, then unregistration everywhere), and an
+// optional churn loop advances the population in real time.
 //
 // Broadcasters are synthetic: each watched broadcast gets a broadcaster
 // engine that pushes real RTMP (FLV-tagged AVC+AAC from internal/media)
@@ -18,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,6 +39,7 @@ import (
 	"periscope/internal/broadcastmodel"
 	"periscope/internal/chat"
 	"periscope/internal/geo"
+	"periscope/internal/hls"
 )
 
 // Config tunes the assembled service.
@@ -35,13 +50,42 @@ type Config struct {
 	HLSViewerThreshold int
 	// SegmentTarget is the HLS segment duration target (3.6 s observed).
 	SegmentTarget time.Duration
-	// CDNPOPs is the number of CDN edge servers (the study saw 2).
+	// CDNPOPs is the number of CDN edge servers (the study saw 2), placed
+	// round-robin over the default region order. Ignored when
+	// CDNPOPRegions is set.
 	CDNPOPs int
+	// CDNPOPRegions places one POP per named geo region (repeats allowed:
+	// two "us-west" entries are a two-POP cluster). When set it overrides
+	// CDNPOPs.
+	CDNPOPRegions []string
+	// CDNOriginRegion locates the origin tier ("us-east" by default, a
+	// stand-in for Periscope's own datacenter); POP→origin link RTTs
+	// derive from it.
+	CDNOriginRegion string
+	// CDNLinkRTTScale scales the geographically derived RTT on every fill
+	// link (POP→origin and POP→peer). 0 means the default scale of 1;
+	// negative disables modelled latency entirely (tests, benchmarks) —
+	// the fill hierarchy is kept either way.
+	CDNLinkRTTScale float64
+	// CDNLinkBandwidth caps each fill link in bits per second (0 = no
+	// cap).
+	CDNLinkBandwidth float64
+	// CDNFillConcurrency caps one broadcast's concurrent upstream segment
+	// fetches per replica (see hls.ReplicaConfig.MaxConcurrentFills);
+	// 0 uses hls.DefaultFillConcurrency.
+	CDNFillConcurrency int
 	// CDNUnregisterLinger is how long an ended broadcast stays registered
 	// at the origin tier and edge POPs, so viewers mid-stream can fetch
 	// the final (ENDLIST) playlist and drain the last window. Zero
 	// unregisters immediately.
 	CDNUnregisterLinger time.Duration
+	// ChurnInterval, when positive, advances the population in real time
+	// (one tick per interval), so scheduled broadcast ends fire on their
+	// own: the population's Broadcast.End drives Service.EndBroadcast and
+	// the CDN churns broadcasts end-to-end. Zero leaves the population
+	// static unless the caller advances it (tests drive Pop.Advance with a
+	// virtual clock; the scheduled-end hook fires either way).
+	ChurnInterval time.Duration
 	// APIRateLimit enables 429 responses (requests/second per session).
 	APIRateLimit float64
 	APIBurst     float64
@@ -57,6 +101,9 @@ func DefaultConfig() Config {
 		HLSViewerThreshold:  100,
 		SegmentTarget:       3600 * time.Millisecond,
 		CDNPOPs:             2,
+		CDNOriginRegion:     "us-east",
+		CDNLinkRTTScale:     1,
+		CDNFillConcurrency:  hls.DefaultFillConcurrency,
 		CDNUnregisterLinger: 15 * time.Second,
 		APIRateLimit:        2,
 		APIBurst:            6,
@@ -77,10 +124,17 @@ type Service struct {
 	chatHTTP *http.Server
 	chatLn   net.Listener
 
-	regions []geo.Region
-	ingest  map[string]*ingestServer // region name -> RTMP ingest
-	origin  *originTier              // CDN fill source (one Origin per broadcast)
-	cdn     []*cdnPOP
+	regions      []geo.Region
+	ingest       map[string]*ingestServer // region name -> RTMP ingest
+	origin       *originTier              // CDN fill source (one Origin per broadcast)
+	originRegion geo.Region               // where the origin tier lives
+	cdn          []*cdnPOP
+
+	// churnStop ends the background population-churn loop (ChurnInterval);
+	// churnDone is closed when the loop has exited, so Close can wait for
+	// any in-flight scheduled-end processing before tearing timers down.
+	churnStop chan struct{}
+	churnDone chan struct{}
 
 	// endedDelivery accumulates the shard-level fan-out counters of hubs
 	// whose broadcasts have ended, so the snapshot stays cumulative.
@@ -109,8 +163,9 @@ func Start(cfg Config) (*Service, error) {
 	if cfg.HLSViewerThreshold <= 0 {
 		cfg.HLSViewerThreshold = 100
 	}
-	if cfg.CDNPOPs <= 0 {
-		cfg.CDNPOPs = 2
+	// cfg.CDNPOPs defaulting lives in resolvePOPRegions, its only reader.
+	if cfg.CDNOriginRegion == "" {
+		cfg.CDNOriginRegion = "us-east"
 	}
 	s := &Service{
 		cfg:     cfg,
@@ -131,7 +186,14 @@ func Start(cfg Config) (*Service, error) {
 		s.ingest[r.Name] = ing
 	}
 
-	// CDN origin tier: the single fill source the POPs replicate from.
+	// CDN origin tier: the authoritative fill source, placed in a region
+	// so POP→origin RTTs have a geography.
+	originRegion, ok := geo.RegionByName(s.regions, cfg.CDNOriginRegion)
+	if !ok {
+		s.Close()
+		return nil, fmt.Errorf("service: unknown CDN origin region %q", cfg.CDNOriginRegion)
+	}
+	s.originRegion = originRegion
 	origin, err := newOriginTier()
 	if err != nil {
 		s.Close()
@@ -139,14 +201,32 @@ func Start(cfg Config) (*Service, error) {
 	}
 	s.origin = origin
 
-	// CDN POPs ("Fastly" edges).
-	for i := 0; i < cfg.CDNPOPs; i++ {
-		pop, err := newCDNPOP(s, i)
+	// CDN POPs ("Fastly" edges), each placed in a geo region; once all
+	// exist, wire the fill topology (shaped origin links, nearest-peer
+	// candidate lists).
+	popRegions, err := resolvePOPRegions(cfg, s.regions)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	for i, reg := range popRegions {
+		pop, err := newCDNPOP(s, i, reg)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("service: starting CDN POP %d: %w", i, err)
 		}
 		s.cdn = append(s.cdn, pop)
+	}
+	s.wireCDNTopology()
+
+	// Scheduled broadcast ends drive the real end-of-broadcast path:
+	// however the population advances (background churn loop or a test's
+	// virtual clock), an expired Broadcast.End tears its pipeline down.
+	s.Pop.OnBroadcastEnd(s.onScheduledEnds)
+	if cfg.ChurnInterval > 0 {
+		s.churnStop = make(chan struct{})
+		s.churnDone = make(chan struct{})
+		go s.churnLoop(cfg.ChurnInterval)
 	}
 
 	// Chat server.
@@ -195,15 +275,80 @@ func (s *Service) RTMPServerNames() map[string]string {
 	return out
 }
 
+// churnLoop advances the population in real time so scheduled broadcast
+// ends fire on their own — the wire tier churns broadcasts end-to-end.
+func (s *Service) churnLoop(interval time.Duration) {
+	defer close(s.churnDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.churnStop:
+			return
+		case <-t.C:
+			// Real elapsed time maps 1:1 onto virtual time; Advance invokes
+			// onScheduledEnds for every broadcast whose End expired.
+			s.Pop.Advance(interval)
+		}
+	}
+}
+
+// onScheduledEnds is the population's end listener: any ended broadcast
+// with a live pipeline goes through the full EndBroadcast path (segmenter
+// finished → ENDLIST at origin and every POP → linger → unregister).
+func (s *Service) onScheduledEnds(ended []*broadcastmodel.Broadcast) {
+	for _, b := range ended {
+		if s.hubFor(b.ID) != nil {
+			s.EndBroadcast(b.ID)
+		}
+	}
+}
+
+// CDNTopology describes the wired CDN fill topology, one line per tier
+// member: where the origin and each POP live, each POP's modelled origin
+// RTT, and the nearest-peer order its fills probe before origin fallback.
+func (s *Service) CDNTopology() []string {
+	out := []string{fmt.Sprintf("origin @ %s", s.originRegion.Name)}
+	for _, p := range s.cdn {
+		var b strings.Builder
+		fmt.Fprintf(&b, "pop %d @ %s", p.index, p.region.Name)
+		if p.originLink != nil {
+			fmt.Fprintf(&b, " (origin RTT %v)", p.originLink.RTT.Round(time.Millisecond))
+		}
+		if len(p.peers) == 0 {
+			b.WriteString(" — fills from origin")
+		} else {
+			b.WriteString(" — fills from")
+			for i, pr := range p.peers {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, " pop %d (%v)", pr.pop.index, pr.link.RTT.Round(time.Millisecond))
+			}
+			b.WriteString(", then origin")
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
 // Close shuts everything down.
 func (s *Service) Close() {
 	s.mu.Lock()
+	wasDone := s.done
 	s.done = true
 	hubs := make([]*hub, 0, len(s.hubs))
 	for _, h := range s.hubs {
 		hubs = append(hubs, h)
 	}
 	s.mu.Unlock()
+	if s.churnStop != nil && !wasDone {
+		// Stop the churn loop and wait it out: a tick mid-Advance may be
+		// inside EndBroadcast, and its linger timer must be armed (and thus
+		// stoppable) before the timer teardown below runs.
+		close(s.churnStop)
+		<-s.churnDone
+	}
 	s.timerMu.Lock()
 	for t := range s.endTimers {
 		t.Stop()
@@ -281,6 +426,19 @@ func (s *Service) EndBroadcast(id string) {
 		return
 	}
 	s.timerMu.Lock()
+	// Closed-service check inside the timer lock: Close sets done before
+	// it clears endTimers (also under timerMu), so either this arming
+	// happens first and Close stops the timer, or done is visible here and
+	// the broadcast unregisters inline — a linger timer can never outlive
+	// the service.
+	s.mu.RLock()
+	closed := s.done
+	s.mu.RUnlock()
+	if closed {
+		s.timerMu.Unlock()
+		unregister()
+		return
+	}
 	if s.endTimers == nil {
 		s.endTimers = map[*time.Timer]struct{}{}
 	}

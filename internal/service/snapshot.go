@@ -38,6 +38,9 @@ type DeliverySnapshot struct {
 
 // OriginSnapshot is the origin tier's view of CDN fill traffic.
 type OriginSnapshot struct {
+	// Region is where the origin tier is placed; POP→origin RTTs derive
+	// from it.
+	Region string
 	// Broadcasts is the number of registered origins.
 	Broadcasts int
 	// Requests/Bytes count everything served to the POPs; the split
@@ -49,15 +52,35 @@ type OriginSnapshot struct {
 // POPSnapshot is one edge's aggregated serving and fill metrics.
 type POPSnapshot struct {
 	Index int
+	// Region is the POP's geographic placement; fill-link RTTs and the
+	// nearest-peer order derive from it.
+	Region string
 	// Requests and Bytes count viewer-facing traffic.
 	Requests, Bytes int64
 	// Broadcasts is the number of registered replicas; CachedSegments the
 	// total edge cache occupancy across them.
 	Broadcasts, CachedSegments int
-	// Fills counts origin segment fetches, FillBytes their volume,
-	// FillErrors the failed ones. SingleFlightHits counts viewer requests
-	// that coalesced onto an in-flight fill instead of hitting origin.
+	// Fills counts upstream segment fetches (peer or origin), FillBytes
+	// their volume, FillErrors the failed ones. SingleFlightHits counts
+	// viewer requests that coalesced onto an in-flight fill instead of
+	// going upstream.
 	Fills, FillBytes, FillErrors, SingleFlightHits int64
+	// PeerFills counts segments this POP obtained from a nearer peer
+	// instead of the origin (the origin-offload path), PeerFillBytes
+	// their volume, PeerMisses the peer probes that came back empty;
+	// OriginFills the fetches that fell through to the origin.
+	PeerFills, PeerFillBytes, PeerMisses, OriginFills int64
+	// PeerRequests counts fill probes arriving from peer POPs, PeerServes
+	// the ones answered from cache, PeerBytesOut their volume — this
+	// POP's contribution as a fill source for its cluster.
+	PeerRequests, PeerServes, PeerBytesOut int64
+	// Warmups counts promotion warm-ups scheduled on this POP's replicas.
+	Warmups int64
+	// FillCapWaits counts demand fills that queued on a broadcast's fill
+	// concurrency cap (FillCap, the configured per-broadcast limit): a
+	// saturated cap is observable here, not silent.
+	FillCapWaits int64
+	FillCap      int
 	// PlaylistRefreshes counts origin playlist fetches; StaleServes the
 	// playlist responses served past the TTL while revalidating
 	// (stale-while-revalidate); Evictions the segments aged out of the
@@ -106,6 +129,7 @@ func (s *Service) Snapshot() Snapshot {
 
 	if s.origin != nil {
 		snap.Origin = OriginSnapshot{
+			Region:           s.originRegion.Name,
 			Broadcasts:       s.origin.count(),
 			Requests:         s.origin.Requests.Load(),
 			Bytes:            s.origin.Bytes.Load(),

@@ -48,8 +48,9 @@ type (
 	// TestbedConfig tunes the wire-level service.
 	TestbedConfig = service.Config
 	// TestbedSnapshot is the service's delivery-plane snapshot: RTMP
-	// fan-out counters next to CDN origin/edge fill metrics (fills,
-	// single-flight hits, playlist staleness, evictions). Obtain one via
+	// fan-out counters next to the geo-placed CDN's origin/edge fill
+	// metrics (peer vs origin fills, single-flight hits, playlist
+	// staleness, warm-ups, fill-cap waits, evictions). Obtain one via
 	// Testbed.Snapshot, render with analysis.DeliveryTable.
 	TestbedSnapshot = service.Snapshot
 	// WireSession configures a real (non-simulated) viewing session.
