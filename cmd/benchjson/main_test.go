@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: periscope/internal/service
+cpu: Test CPU
+BenchmarkHubFanout/viewers=10-8         	     100	  12345 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkPOPFill/viewers=100-8          	      50	 987654 ns/op	         1.000 origin-fills/op	 104857600 MB/s
+BenchmarkBreakerOverhead-8              	12000000	     95.2 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	periscope/internal/service	4.2s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	fan, ok := rep.Benchmarks["BenchmarkHubFanout/viewers=10"]
+	if !ok {
+		t.Fatal("cpu suffix not stripped from fan-out bench name")
+	}
+	if fan.Iterations != 100 || fan.Metrics["ns/op"] != 12345 || fan.Metrics["allocs/op"] != 12 {
+		t.Errorf("fan-out bench parsed as %+v", fan)
+	}
+	pop := rep.Benchmarks["BenchmarkPOPFill/viewers=100"]
+	if pop.Metrics["origin-fills/op"] != 1.0 {
+		t.Errorf("custom metric lost: %+v", pop.Metrics)
+	}
+	brk := rep.Benchmarks["BenchmarkBreakerOverhead"]
+	if brk.Metrics["allocs/op"] != 0 || brk.Metrics["ns/op"] != 95.2 {
+		t.Errorf("breaker bench parsed as %+v", brk)
+	}
+}
+
+func TestParseBenchKeepsFastestRepeat(t *testing.T) {
+	input := "BenchmarkA-8 100 200 ns/op\nBenchmarkA-8 100 150 ns/op\nBenchmarkA-8 100 180 ns/op\n"
+	rep, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Benchmarks["BenchmarkA"].Metrics["ns/op"]; got != 150 {
+		t.Errorf("kept ns/op = %v, want the fastest repeat 150", got)
+	}
+}
+
+func report(entries map[string]map[string]float64) Report {
+	rep := Report{Benchmarks: map[string]Benchmark{}}
+	for name, metrics := range entries {
+		rep.Benchmarks[name] = Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+	}
+	return rep
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	base := report(map[string]map[string]float64{
+		"BenchmarkA":        {"ns/op": 1000, "allocs/op": 10},
+		"BenchmarkBreaker":  {"ns/op": 100, "allocs/op": 0},
+		"BenchmarkVanished": {"ns/op": 50},
+	})
+
+	// Within the limit: +15% ns/op, equal allocs, zero stays zero.
+	ok := report(map[string]map[string]float64{
+		"BenchmarkA":        {"ns/op": 1150, "allocs/op": 10},
+		"BenchmarkBreaker":  {"ns/op": 110, "allocs/op": 0},
+		"BenchmarkVanished": {"ns/op": 60},
+	})
+	if v := compare(base, ok, 20); len(v) != 0 {
+		t.Errorf("clean run flagged: %v", v)
+	}
+
+	// Three violations: ns/op blowup, allocs on a zero-alloc baseline,
+	// and a benchmark that disappeared.
+	bad := report(map[string]map[string]float64{
+		"BenchmarkA":       {"ns/op": 1500, "allocs/op": 10},
+		"BenchmarkBreaker": {"ns/op": 100, "allocs/op": 2},
+	})
+	v := compare(base, bad, 20)
+	if len(v) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(v), v)
+	}
+	for _, want := range []string{"BenchmarkA", "BenchmarkBreaker", "BenchmarkVanished"} {
+		found := false
+		for _, msg := range v {
+			if strings.HasPrefix(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation reported for %s: %v", want, v)
+		}
+	}
+}
+
+func TestCompareExtraCurrentBenchesIgnored(t *testing.T) {
+	base := report(map[string]map[string]float64{"BenchmarkA": {"ns/op": 100}})
+	cur := report(map[string]map[string]float64{
+		"BenchmarkA":   {"ns/op": 90},
+		"BenchmarkNew": {"ns/op": 1e9},
+	})
+	if v := compare(base, cur, 20); len(v) != 0 {
+		t.Errorf("new benchmark flagged against empty baseline: %v", v)
+	}
+}

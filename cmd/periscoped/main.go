@@ -27,6 +27,9 @@ func main() {
 	popRegions := flag.String("pop-regions", "", "comma-separated POP regions (e.g. us-west,us-west,eu-west); overrides -pops")
 	churn := flag.Duration("churn", 2*time.Second, "population churn tick (0 freezes the population)")
 	statsEvery := flag.Duration("stats", time.Minute, "delivery snapshot print interval (0 disables)")
+	outageRegion := flag.String("outage-region", "", "run a scheduled outage drill: blackhole every POP in this region (e.g. us-west)")
+	outageAfter := flag.Duration("outage-after", 30*time.Second, "delay before the scheduled outage begins")
+	outageFor := flag.Duration("outage-for", 30*time.Second, "outage duration before the region is restored and re-warmed")
 	flag.Parse()
 
 	cfg := periscope.DefaultTestbedConfig()
@@ -58,6 +61,15 @@ func main() {
 	for _, line := range tb.CDNTopology() {
 		fmt.Printf("    %s\n", line)
 	}
+	// Scheduled outage drill: blackhole the region, let health-driven
+	// steering re-route its viewers, then restore and re-warm. The
+	// periodic snapshot shows the failover (health/down, re-routes,
+	// breaker trips) while it runs.
+	var outageC, restoreC <-chan time.Time
+	if *outageRegion != "" {
+		fmt.Printf("\nOutage drill: %s goes dark in %v for %v.\n", *outageRegion, *outageAfter, *outageFor)
+		outageC = time.After(*outageAfter)
+	}
 	fmt.Println("\nCtrl-C to stop.")
 
 	ch := make(chan os.Signal, 1)
@@ -70,6 +82,17 @@ func main() {
 	}
 	for {
 		select {
+		case <-outageC:
+			outageC = nil
+			n := tb.RegionOutage(*outageRegion)
+			fmt.Printf("\n*** outage: %d POP(s) in %s blackholed; health: %v\n",
+				n, *outageRegion, tb.POPHealthStates())
+			restoreC = time.After(*outageFor)
+		case <-restoreC:
+			restoreC = nil
+			n := tb.RestoreRegion(*outageRegion)
+			fmt.Printf("\n*** recovery: %d POP(s) in %s restored and re-warming; health: %v\n",
+				n, *outageRegion, tb.POPHealthStates())
 		case <-tick:
 			fmt.Println(analysis.DeliveryTable(tb.Snapshot()).Render())
 		case <-ch:

@@ -487,10 +487,22 @@ func DeliveryTable(snap service.Snapshot) Table {
 		}
 		add(tier, "viewer requests", fmt.Sprintf("%d", p.Requests))
 		add(tier, "viewer bytes", fmt.Sprintf("%d", p.Bytes))
+		health := p.Health
+		if health == "" {
+			health = "ok"
+		}
+		add(tier, "health", fmt.Sprintf("%s (windowed fill error rate %.2f)", health, p.FillErrorRate))
+		if p.OriginBreaker != "" {
+			add(tier, "breakers", fmt.Sprintf("origin %s, %d peer open (%d trips, %d rejects)",
+				p.OriginBreaker, p.PeerBreakersOpen, p.BreakerTrips, p.BreakerRejects))
+		}
+		add(tier, "fill retries / negative hits", fmt.Sprintf("%d / %d", p.FillRetries, p.NegativeHits))
+		add(tier, "failover re-routes", fmt.Sprintf("%d", p.Reroutes))
 		add(tier, "replicas / cached segments", fmt.Sprintf("%d / %d", p.Broadcasts, p.CachedSegments))
 		add(tier, "segment fills", fmt.Sprintf("%d (%d B, %d errors)", p.Fills, p.FillBytes, p.FillErrors))
 		add(tier, "peer fills / origin fills",
-			fmt.Sprintf("%d / %d (%d probe misses)", p.PeerFills, p.OriginFills, p.PeerMisses))
+			fmt.Sprintf("%d / %d (%d probe misses, %d breaker skips)",
+				p.PeerFills, p.OriginFills, p.PeerMisses, p.PeerSkips))
 		add(tier, "peer serves", fmt.Sprintf("%d of %d probes (%d B out)",
 			p.PeerServes, p.PeerRequests, p.PeerBytesOut))
 		add(tier, "single-flight hits", fmt.Sprintf("%d", p.SingleFlightHits))

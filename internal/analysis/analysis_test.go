@@ -166,19 +166,27 @@ func TestDeliveryTableRenders(t *testing.T) {
 		POPs: []service.POPSnapshot{{
 			Index: 0, Region: "us-west", Requests: 500, Bytes: 5 << 20, Broadcasts: 2, CachedSegments: 8,
 			Fills: 20, FillBytes: 1 << 20, SingleFlightHits: 480,
-			PeerFills: 14, PeerFillBytes: 700_000, PeerMisses: 2, OriginFills: 6,
+			PeerFills: 14, PeerFillBytes: 700_000, PeerMisses: 2, PeerSkips: 3, OriginFills: 6,
 			PeerRequests: 9, PeerServes: 7, PeerBytesOut: 350_000,
 			Warmups: 2, FillCapWaits: 5, FillCap: 4,
 			PlaylistRefreshes: 10, StaleServes: 3, Evictions: 6,
 			MaxPlaylistAge: 1700 * time.Millisecond,
+			Health:         "degraded", FillErrorRate: 0.25,
+			OriginBreaker: "half-open", PeerBreakersOpen: 1,
+			BreakerTrips: 2, BreakerRejects: 40,
+			FillRetries: 8, NegativeHits: 5, Reroutes: 11,
 		}},
 	}
 	out := DeliveryTable(snap).Render()
 	for _, want := range []string{
 		"hopeless disconnects", "single-flight hits", "stale serves",
 		"max playlist age", "1.7s", "pop 0 (us-west)", "origin (us-east)",
-		"peer fills / origin fills", "14 / 6 (2 probe misses)",
+		"peer fills / origin fills", "14 / 6 (2 probe misses, 3 breaker skips)",
 		"peer serves", "7 of 9 probes", "warm-ups", "fill cap waits", "5 (cap 4)",
+		"degraded (windowed fill error rate 0.25)",
+		"origin half-open, 1 peer open (2 trips, 40 rejects)",
+		"fill retries / negative hits", "8 / 5",
+		"failover re-routes", "11",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("delivery table missing %q:\n%s", want, out)

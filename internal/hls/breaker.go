@@ -1,0 +1,231 @@
+package hls
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file adds the per-upstream circuit breaker for the fill path. A
+// POP probing a dead peer or a blackholed origin would otherwise pay a
+// full per-attempt timeout on every fill; the breaker converts that into
+// an O(1) skip after a handful of consecutive failures, then re-probes
+// with a single request once a cooldown elapses.
+
+// ErrBreakerOpen is returned without touching the upstream when the
+// breaker is open (or a half-open probe is already in flight).
+var ErrBreakerOpen = errors.New("hls: upstream circuit breaker open")
+
+// BreakerState enumerates the circuit breaker state machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes every request through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe request; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// DefaultBreakerFailures is the consecutive-failure threshold that trips
+// a breaker; DefaultBreakerCooldown how long it stays open before the
+// half-open probe.
+const (
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = 3 * time.Second
+)
+
+// Breaker is a consecutive-failure circuit breaker. The closed-state hot
+// path is a single atomic load in Allow and one atomic op in Observe —
+// no locks, no allocations — so wrapping every fill costs nothing while
+// the upstream is healthy.
+type Breaker struct {
+	threshold int64
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state       atomic.Int32
+	consecutive atomic.Int64
+	trips       atomic.Int64
+	rejects     atomic.Int64
+
+	mu       sync.Mutex
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and staying open for cooldown. Zero values take the defaults;
+// now is injectable for deterministic tests (nil = time.Now).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerFailures
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: int64(threshold), cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may proceed. Open-state rejections and
+// duplicate half-open probes return false; the caller should fail fast
+// with ErrBreakerOpen and must not call Observe for a rejected request.
+func (b *Breaker) Allow() bool {
+	if BreakerState(b.state.Load()) == BreakerClosed {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch BreakerState(b.state.Load()) {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejects.Add(1)
+			return false
+		}
+		b.state.Store(int32(BreakerHalfOpen))
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.rejects.Add(1)
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Observe records the outcome of an admitted request. Consecutive
+// failures past the threshold trip the breaker open; a successful
+// half-open probe closes it, a failed one re-opens it.
+func (b *Breaker) Observe(failure bool) {
+	if BreakerState(b.state.Load()) == BreakerClosed {
+		if !failure {
+			b.consecutive.Store(0)
+			return
+		}
+		if b.consecutive.Add(1) < b.threshold {
+			return
+		}
+		b.mu.Lock()
+		if BreakerState(b.state.Load()) == BreakerClosed && b.consecutive.Load() >= b.threshold {
+			b.tripLocked()
+		}
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch BreakerState(b.state.Load()) {
+	case BreakerHalfOpen:
+		b.probing = false
+		if failure {
+			b.tripLocked()
+		} else {
+			b.state.Store(int32(BreakerClosed))
+			b.consecutive.Store(0)
+		}
+	case BreakerClosed:
+		// Raced a close; fold the outcome into the fresh closed state.
+		if failure {
+			if b.consecutive.Add(1) >= b.threshold {
+				b.tripLocked()
+			}
+		} else {
+			b.consecutive.Store(0)
+		}
+	case BreakerOpen:
+		// Late outcome from a request admitted before the trip; the
+		// breaker already decided, ignore it.
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state.Store(int32(BreakerOpen))
+	b.openedAt = b.now()
+	b.consecutive.Store(0)
+	b.trips.Add(1)
+}
+
+// State returns the current breaker state.
+func (b *Breaker) State() BreakerState { return BreakerState(b.state.Load()) }
+
+// Trips counts closed/half-open → open transitions.
+func (b *Breaker) Trips() int64 { return b.trips.Load() }
+
+// Rejects counts requests refused while open (or while a probe held the
+// half-open slot).
+func (b *Breaker) Rejects() int64 { return b.rejects.Load() }
+
+// breakerFailure classifies a fill error for the breaker. Responses that
+// prove the upstream is alive — success and 4xx (an expired segment is a
+// healthy origin saying no) — are not failures; transport errors,
+// timeouts, injected faults and 5xx are. A caller-side cancellation says
+// nothing about the upstream, so it is not observed at all.
+func breakerFailure(err error) (failure, observable bool) {
+	if err == nil {
+		return false, true
+	}
+	if errors.Is(err, context.Canceled) {
+		return false, false
+	}
+	var ue *UpstreamError
+	if errors.As(err, &ue) && ue.Status < http.StatusInternalServerError {
+		return false, true
+	}
+	return true, true
+}
+
+// BreakerSource gates a SegmentSource behind a Breaker. Several sources
+// may share one Breaker (all broadcasts filling over the same POP→POP
+// link share the link's health), which is how the service tier wires it.
+type BreakerSource struct {
+	Source  SegmentSource
+	Breaker *Breaker
+}
+
+// FetchPlaylist implements SegmentSource.
+func (s *BreakerSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
+	if !s.Breaker.Allow() {
+		return nil, ErrBreakerOpen
+	}
+	raw, err := s.Source.FetchPlaylist(ctx)
+	if failure, observable := breakerFailure(err); observable {
+		s.Breaker.Observe(failure)
+	}
+	return raw, err
+}
+
+// FetchSegment implements SegmentSource.
+func (s *BreakerSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
+	if !s.Breaker.Allow() {
+		return nil, ErrBreakerOpen
+	}
+	data, err := s.Source.FetchSegment(ctx, seq)
+	if failure, observable := breakerFailure(err); observable {
+		s.Breaker.Observe(failure)
+	}
+	return data, err
+}

@@ -1,0 +1,185 @@
+package hls
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, time.Second, clk.now)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	// Failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Observe(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Observe(false)
+	for i := 0; i < 2; i++ {
+		b.Observe(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+	// The third consecutive failure trips it open.
+	b.Observe(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+	// Open: rejects until the cooldown elapses.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if b.Rejects() != 1 {
+		t.Fatalf("Rejects = %d, want 1", b.Rejects())
+	}
+	// Cooldown elapsed: exactly one half-open probe gets through.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit the half-open probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while the probe was in flight")
+	}
+	// Probe succeeds: breaker closes.
+	b.Observe(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a request after recovery")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(2, time.Second, clk.now)
+	b.Observe(true)
+	b.Observe(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe admitted")
+	}
+	b.Observe(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("Trips = %d, want 2", b.Trips())
+	}
+	// The failed probe restarts the cooldown.
+	if b.Allow() {
+		t.Fatal("request admitted right after a failed probe")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no second probe after another cooldown")
+	}
+}
+
+func TestBreakerSourceClassification(t *testing.T) {
+	src := newFakeSource()
+	b := NewBreaker(2, time.Minute, nil)
+	bs := &BreakerSource{Source: src, Breaker: b}
+	ctx := context.Background()
+
+	// 404s are a healthy origin answering — never a breaker failure.
+	src.setSegErr(1, &UpstreamError{Status: http.StatusNotFound})
+	for i := 0; i < 5; i++ {
+		if _, err := bs.FetchSegment(ctx, 1); err == nil {
+			t.Fatal("want 404 error")
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("404s tripped the breaker (state %v)", b.State())
+	}
+
+	// 5xx and transport errors trip it.
+	src.setSegErr(2, &UpstreamError{Status: http.StatusBadGateway})
+	if _, err := bs.FetchSegment(ctx, 2); err == nil {
+		t.Fatal("want 502 error")
+	}
+	src.setSegErr(3, errors.New("connection refused"))
+	if _, err := bs.FetchSegment(ctx, 3); err == nil {
+		t.Fatal("want transport error")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after 2 hard failures", b.State())
+	}
+
+	// Open breaker fails fast with ErrBreakerOpen.
+	if _, err := bs.FetchSegment(ctx, 4); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if got := src.fetchesFor(4); got != 0 {
+		t.Fatalf("open breaker still hit the upstream %d times", got)
+	}
+}
+
+func TestBreakerIgnoresCallerCancellation(t *testing.T) {
+	src := newFakeSource()
+	b := NewBreaker(1, time.Minute, nil)
+	bs := &BreakerSource{Source: src, Breaker: b}
+	src.setSegErr(1, context.Canceled)
+	if _, err := bs.FetchSegment(context.Background(), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("caller cancellation tripped the breaker")
+	}
+}
+
+func TestBreakerClosedPathAllocs(t *testing.T) {
+	b := NewBreaker(5, time.Second, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected")
+		}
+		b.Observe(false)
+	})
+	if allocs != 0 {
+		t.Errorf("closed-state Allow+Observe allocates %v objects per fill, want 0", allocs)
+	}
+}
+
+// BenchmarkBreakerOverhead measures the closed-state hot path a healthy
+// fill pays: one Allow plus one Observe.
+func BenchmarkBreakerOverhead(b *testing.B) {
+	br := NewBreaker(5, time.Second, nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !br.Allow() {
+				b.Fatal("closed breaker rejected")
+			}
+			br.Observe(false)
+		}
+	})
+}

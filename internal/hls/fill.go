@@ -2,7 +2,9 @@ package hls
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // TieredSource is the hierarchical fill path of a geo-aware edge, the
@@ -24,16 +26,30 @@ type TieredSource struct {
 	Peers []SegmentSource
 	// Origin is the authoritative source (required).
 	Origin SegmentSource
+	// ProbeTimeout caps each peer probe. Every probe additionally gets a
+	// fair share of whatever budget remains on the caller's context
+	// (remaining / tiers-left, origin counted as the last tier), so one
+	// hung peer can delay but never consume the whole fill window.
+	// Defaults to DefaultProbeTimeout.
+	ProbeTimeout time.Duration
 
 	// PeerFills counts segments served by a peer (origin egress avoided);
 	// PeerFillBytes their volume; PeerMisses the probes that came back
-	// empty or failed. OriginFills counts segment fetches that fell
-	// through to the origin (successful or not).
+	// empty or failed. PeerSkips counts probes skipped in O(1) because
+	// the peer's circuit breaker was open — no timeout was risked.
+	// OriginFills counts segment fetches that fell through to the origin
+	// (successful or not).
 	PeerFills     atomic.Int64
 	PeerFillBytes atomic.Int64
 	PeerMisses    atomic.Int64
+	PeerSkips     atomic.Int64
 	OriginFills   atomic.Int64
 }
+
+// DefaultProbeTimeout bounds one cache-only peer probe. A probe is a
+// single RTT plus a cached read, so it needs far less than a full
+// origin fill.
+const DefaultProbeTimeout = time.Second
 
 // FetchPlaylist implements SegmentSource: playlists are origin-only.
 func (t *TieredSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
@@ -41,16 +57,41 @@ func (t *TieredSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
 }
 
 // FetchSegment implements SegmentSource: probe peers nearest-first, fall
-// back to the origin.
+// back to the origin. Each probe runs under its own deadline carved from
+// the remaining context budget — the bugfix for all tiers sharing one
+// flat FillTimeout, where the first hung peer starved every tier after
+// it.
 func (t *TieredSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
-	for _, p := range t.Peers {
-		data, err := p.FetchSegment(ctx, seq)
+	probeMax := t.ProbeTimeout
+	if probeMax <= 0 {
+		probeMax = DefaultProbeTimeout
+	}
+	for i, p := range t.Peers {
+		per := probeMax
+		if deadline, ok := ctx.Deadline(); ok {
+			// Fair share of the remaining budget across the tiers still
+			// to try (peers left + the origin).
+			share := time.Until(deadline) / time.Duration(len(t.Peers)-i+1)
+			if share < per {
+				per = share
+			}
+			if per <= 0 {
+				return nil, context.DeadlineExceeded
+			}
+		}
+		pctx, cancel := context.WithTimeout(ctx, per)
+		data, err := p.FetchSegment(pctx, seq)
+		cancel()
 		if err == nil {
 			t.PeerFills.Add(1)
 			t.PeerFillBytes.Add(int64(len(data)))
 			return data, nil
 		}
-		t.PeerMisses.Add(1)
+		if errors.Is(err, ErrBreakerOpen) {
+			t.PeerSkips.Add(1)
+		} else {
+			t.PeerMisses.Add(1)
+		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -65,11 +106,12 @@ func (t *TieredSource) Stats() TieredStats {
 		PeerFills:     t.PeerFills.Load(),
 		PeerFillBytes: t.PeerFillBytes.Load(),
 		PeerMisses:    t.PeerMisses.Load(),
+		PeerSkips:     t.PeerSkips.Load(),
 		OriginFills:   t.OriginFills.Load(),
 	}
 }
 
 // TieredStats is a snapshot of one TieredSource's counters.
 type TieredStats struct {
-	PeerFills, PeerFillBytes, PeerMisses, OriginFills int64
+	PeerFills, PeerFillBytes, PeerMisses, PeerSkips, OriginFills int64
 }

@@ -69,6 +69,99 @@ func TestTieredSourcePlaylistIsOriginOnly(t *testing.T) {
 	}
 }
 
+// hangingSource blocks every fetch until the caller's context expires —
+// a peer that accepts connections but never answers.
+type hangingSource struct{ fetches atomic.Int64 }
+
+func (s *hangingSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (s *hangingSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
+	s.fetches.Add(1)
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestTieredSourcePerTierDeadline pins the budget-carving bugfix: one
+// hung peer used to consume the whole fill window, failing the fill even
+// though a later tier held the segment.
+func TestTieredSourcePerTierDeadline(t *testing.T) {
+	hung := &hangingSource{}
+	warm := newFakeSource()
+	warm.setSegment(4, []byte("from-second-peer"))
+	origin := newFakeSource()
+
+	src := &TieredSource{Peers: []SegmentSource{hung, warm}, Origin: origin}
+	ctx, cancel := context.WithTimeout(context.Background(), 900*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	data, err := src.FetchSegment(ctx, 4)
+	if err != nil || string(data) != "from-second-peer" {
+		t.Fatalf("FetchSegment = %q, %v; want the second peer's copy", data, err)
+	}
+	// The hung peer got remaining/3 (~300ms), not the whole 900ms.
+	if e := time.Since(start); e > 700*time.Millisecond {
+		t.Errorf("fill took %v; hung peer consumed more than its share", e)
+	}
+	st := src.Stats()
+	if st.PeerMisses != 1 || st.PeerFills != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// A hung peer with no caller deadline is bounded by ProbeTimeout, so the
+// origin is still reached.
+func TestTieredSourceProbeTimeoutWithoutDeadline(t *testing.T) {
+	hung := &hangingSource{}
+	origin := newFakeSource()
+	origin.setSegment(2, []byte("authoritative"))
+	src := &TieredSource{
+		Peers:        []SegmentSource{hung},
+		Origin:       origin,
+		ProbeTimeout: 50 * time.Millisecond,
+	}
+	start := time.Now()
+	data, err := src.FetchSegment(context.Background(), 2)
+	if err != nil || string(data) != "authoritative" {
+		t.Fatalf("FetchSegment = %q, %v", data, err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("fill took %v, want ~ProbeTimeout", e)
+	}
+}
+
+// An open peer breaker is skipped in O(1): no probe, no timeout, and the
+// skip is counted separately from real misses.
+func TestTieredSourceSkipsOpenBreakerPeer(t *testing.T) {
+	hung := &hangingSource{}
+	b := NewBreaker(1, time.Minute, nil)
+	b.Observe(true) // trip it
+	origin := newFakeSource()
+	origin.setSegment(9, []byte("authoritative"))
+
+	src := &TieredSource{
+		Peers:  []SegmentSource{&BreakerSource{Source: hung, Breaker: b}},
+		Origin: origin,
+	}
+	start := time.Now()
+	data, err := src.FetchSegment(context.Background(), 9)
+	if err != nil || string(data) != "authoritative" {
+		t.Fatalf("FetchSegment = %q, %v", data, err)
+	}
+	if e := time.Since(start); e > 500*time.Millisecond {
+		t.Errorf("skip took %v, want O(1)", e)
+	}
+	if hung.fetches.Load() != 0 {
+		t.Error("open breaker still probed the dead peer")
+	}
+	st := src.Stats()
+	if st.PeerSkips != 1 || st.PeerMisses != 0 {
+		t.Errorf("stats = %+v, want 1 skip, 0 misses", st)
+	}
+}
+
 // gatedSource wraps a fakeSource with a concurrency high-water mark and a
 // release gate, to observe the per-broadcast fill cap from upstream.
 type gatedSource struct {

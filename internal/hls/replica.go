@@ -2,8 +2,10 @@ package hls
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -169,7 +171,24 @@ type ReplicaConfig struct {
 	// effectively sees through a CDN edge.
 	PlaylistTTL time.Duration
 	// FillTimeout bounds each background origin fetch. Defaults to 5 s.
+	// It is the overall budget for one fill operation — attempts,
+	// backoff and all.
 	FillTimeout time.Duration
+	// FillAttempts caps upstream attempts inside one single-flight fill:
+	// a transient failure is retried (with backoff) instead of being
+	// published to every coalesced waiter. Defaults to
+	// DefaultFillAttempts; 404s and other 4xx are terminal.
+	FillAttempts int
+	// AttemptTimeout bounds each individual attempt, carved from the
+	// FillTimeout budget. Defaults to FillTimeout/FillAttempts.
+	AttemptTimeout time.Duration
+	// RetryBackoff is the base of the jittered doubling backoff between
+	// attempts. Defaults to 50 ms.
+	RetryBackoff time.Duration
+	// NegativeTTL is how long a failed segment fill is answered from the
+	// negative cache without re-probing upstream, shielding a struggling
+	// origin from per-viewer retry storms. Defaults to TargetDuration/4.
+	NegativeTTL time.Duration
 	// MaxConcurrentFills caps this broadcast's concurrent upstream segment
 	// fetches (origin or peer), so one hot broadcast cannot monopolize its
 	// peers or the POP's egress: demand fills past the cap queue (counted
@@ -197,12 +216,16 @@ type fillResult struct {
 // window slides with the origin's, and playlists are served
 // stale-while-revalidate.
 type Replica struct {
-	src         SegmentSource
-	keep        int
-	ttl         time.Duration
-	fillTimeout time.Duration
-	enqueue     func(func()) bool
-	now         func() time.Time
+	src            SegmentSource
+	keep           int
+	ttl            time.Duration
+	fillTimeout    time.Duration
+	attempts       int
+	attemptTimeout time.Duration
+	backoff        time.Duration
+	negTTL         time.Duration
+	enqueue        func(func()) bool
+	now            func() time.Time
 	// fillSem bounds concurrent upstream segment fetches (the
 	// per-broadcast fill concurrency cap).
 	fillSem chan struct{}
@@ -211,6 +234,7 @@ type Replica struct {
 	segs     map[int][]byte
 	maxSeq   int // highest sequence observed (stored or listed)
 	inflight map[int]*fillResult
+	negCache map[int]negEntry
 
 	plRaw        []byte
 	pl           MediaPlaylist
@@ -231,11 +255,24 @@ type Replica struct {
 	prefetchDropped   atomic.Int64
 	fillCapWaits      atomic.Int64
 	warmups           atomic.Int64
+	fillRetries       atomic.Int64
+	negativeHits      atomic.Int64
+}
+
+// negEntry is one negative-cache record: the error a recent fill ended
+// with and how long to keep answering with it.
+type negEntry struct {
+	err   error
+	until time.Time
 }
 
 // DefaultFillConcurrency is the per-broadcast cap on concurrent upstream
 // segment fetches.
 const DefaultFillConcurrency = 4
+
+// DefaultFillAttempts is the per-fill upstream attempt budget inside the
+// single-flight.
+const DefaultFillAttempts = 3
 
 // NewReplica builds an edge replica pulling from cfg.Source.
 func NewReplica(cfg ReplicaConfig) *Replica {
@@ -260,17 +297,34 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	if cfg.MaxConcurrentFills <= 0 {
 		cfg.MaxConcurrentFills = DefaultFillConcurrency
 	}
+	if cfg.FillAttempts <= 0 {
+		cfg.FillAttempts = DefaultFillAttempts
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = cfg.FillTimeout / time.Duration(cfg.FillAttempts)
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.NegativeTTL <= 0 {
+		cfg.NegativeTTL = cfg.TargetDuration / 4
+	}
 	return &Replica{
-		src:         cfg.Source,
-		keep:        cfg.Window + 2, // parity with Segmenter.maxKeep
-		ttl:         cfg.PlaylistTTL,
-		fillTimeout: cfg.FillTimeout,
-		enqueue:     cfg.Enqueue,
-		now:         cfg.Now,
-		fillSem:     make(chan struct{}, cfg.MaxConcurrentFills),
-		segs:        map[int][]byte{},
-		maxSeq:      -1,
-		inflight:    map[int]*fillResult{},
+		src:            cfg.Source,
+		keep:           cfg.Window + 2, // parity with Segmenter.maxKeep
+		ttl:            cfg.PlaylistTTL,
+		fillTimeout:    cfg.FillTimeout,
+		attempts:       cfg.FillAttempts,
+		attemptTimeout: cfg.AttemptTimeout,
+		backoff:        cfg.RetryBackoff,
+		negTTL:         cfg.NegativeTTL,
+		enqueue:        cfg.Enqueue,
+		now:            cfg.Now,
+		fillSem:        make(chan struct{}, cfg.MaxConcurrentFills),
+		segs:           map[int][]byte{},
+		maxSeq:         -1,
+		inflight:       map[int]*fillResult{},
+		negCache:       map[int]negEntry{},
 	}
 }
 
@@ -301,6 +355,13 @@ type ReplicaStats struct {
 	FillCap      int
 	// Warmups counts promotion warm-ups scheduled for this replica.
 	Warmups int64
+	// FillRetries counts extra upstream attempts spent on transient fill
+	// failures inside the single-flight — Fills still counts operations,
+	// not attempts, so Fills stays comparable across PRs.
+	FillRetries int64
+	// NegativeHits counts requests answered from the negative cache
+	// without touching upstream.
+	NegativeHits int64
 	// CachedSegments is the current cache occupancy.
 	CachedSegments int
 	// PlaylistAge is the time since the cached playlist was fetched from
@@ -325,6 +386,8 @@ func (r *Replica) Stats() ReplicaStats {
 		FillCapWaits:      r.fillCapWaits.Load(),
 		FillCap:           cap(r.fillSem),
 		Warmups:           r.warmups.Load(),
+		FillRetries:       r.fillRetries.Load(),
+		NegativeHits:      r.negativeHits.Load(),
 	}
 	r.mu.Lock()
 	st.CachedSegments = len(r.segs)
@@ -375,10 +438,16 @@ func (r *Replica) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 }
 
 // upstreamStatus maps a fill error onto the edge response: origin 404s
-// (expired or unknown) pass through, everything else is a bad gateway.
+// (expired or unknown) pass through, an open breaker is a 503 (the edge
+// knows its upstream is down and wants the viewer to fail over rather
+// than retry here), everything else is a bad gateway.
 func upstreamStatus(w http.ResponseWriter, err error) {
 	if ue, ok := err.(*UpstreamError); ok && ue.Status == http.StatusNotFound {
 		http.Error(w, "segment or playlist not at origin", http.StatusNotFound)
+		return
+	}
+	if errors.Is(err, ErrBreakerOpen) {
+		http.Error(w, "upstream circuit open", http.StatusServiceUnavailable)
 		return
 	}
 	http.Error(w, "origin fill failed", http.StatusBadGateway)
@@ -394,6 +463,14 @@ func (r *Replica) Segment(ctx context.Context, seq int) ([]byte, error) {
 	if data, ok := r.segs[seq]; ok {
 		r.mu.Unlock()
 		return data, nil
+	}
+	if e, ok := r.negCache[seq]; ok {
+		if r.now().Before(e.until) {
+			r.mu.Unlock()
+			r.negativeHits.Add(1)
+			return nil, e.err
+		}
+		delete(r.negCache, seq)
 	}
 	f, ok := r.inflight[seq]
 	if ok {
@@ -436,12 +513,19 @@ func (r *Replica) fillSegment(seq int, f *fillResult) {
 }
 
 // fillSegmentReserved runs the upstream fetch with a fill-cap slot already
-// held, publishes the result, and releases the slot.
+// held, publishes the result, and releases the slot. The attempt budget
+// lives inside the single flight: a transient attempt failure is retried
+// with jittered backoff (within the overall FillTimeout) before anything
+// is published, so one lost request no longer fails every coalesced
+// waiter. A fill that still ends in error seeds the negative cache.
 func (r *Replica) fillSegmentReserved(seq int, f *fillResult) {
 	defer r.releaseFill()
-	ctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
-	defer cancel()
-	data, err := r.src.FetchSegment(ctx, seq)
+	var data []byte
+	err := r.fillWithRetries(func(ctx context.Context) error {
+		var aerr error
+		data, aerr = r.src.FetchSegment(ctx, seq)
+		return aerr
+	})
 	r.fills.Add(1)
 	if err != nil {
 		r.fillErrors.Add(1)
@@ -453,10 +537,65 @@ func (r *Replica) fillSegmentReserved(seq int, f *fillResult) {
 	delete(r.inflight, seq)
 	if err == nil {
 		r.storeSegLocked(seq, data)
+	} else if r.negTTL > 0 {
+		r.negCache[seq] = negEntry{err: err, until: r.now().Add(r.negTTL)}
 	}
 	r.mu.Unlock()
 	f.data, f.err = data, err
 	close(f.done)
+}
+
+// fillWithRetries runs one fill operation: up to r.attempts calls of do,
+// each bounded by AttemptTimeout carved from the overall FillTimeout
+// budget, with jittered doubling backoff between attempts. Terminal
+// errors (4xx — the upstream answered) short-circuit.
+func (r *Replica) fillWithRetries(do func(ctx context.Context) error) error {
+	deadline := time.Now().Add(r.fillTimeout)
+	var err error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		per := r.attemptTimeout
+		if per > remaining {
+			per = remaining
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), per)
+		err = do(ctx)
+		cancel()
+		if err == nil || !retryableFill(err) {
+			return err
+		}
+		wait := jitteredBackoff(r.backoff, attempt)
+		if wait >= time.Until(deadline) {
+			break
+		}
+		r.fillRetries.Add(1)
+		time.Sleep(wait)
+	}
+	return err
+}
+
+// retryableFill reports whether a failed attempt is worth retrying: 4xx
+// responses are authoritative (the segment is gone or unknown), while
+// transport errors, timeouts, 5xx and an open breaker may clear.
+func retryableFill(err error) bool {
+	var ue *UpstreamError
+	if errors.As(err, &ue) {
+		return ue.Status >= http.StatusInternalServerError
+	}
+	return true
+}
+
+// jitteredBackoff doubles the base per attempt and jitters the result
+// into [d/2, d] so coalesced broadcasts do not retry in lockstep.
+func jitteredBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // storeSegLocked inserts a filled segment and slides the cache window: the
@@ -557,11 +696,17 @@ func (r *Replica) Playlist(ctx context.Context) ([]byte, MediaPlaylist, error) {
 		r.plInflight = f
 		r.mu.Unlock()
 		// Detached like segment fills: the cold fetch must survive the
-		// initiating requester disconnecting.
+		// initiating requester disconnecting, and shares the demand-path
+		// retry budget — a cold viewer join must ride out a transient
+		// origin fault.
 		go func() {
-			fctx, cancel := context.WithTimeout(context.Background(), r.fillTimeout)
-			defer cancel()
-			raw, pl, err := r.fetchPlaylist(fctx)
+			var raw []byte
+			var pl MediaPlaylist
+			err := r.fillWithRetries(func(fctx context.Context) error {
+				var ferr error
+				raw, pl, ferr = r.fetchPlaylist(fctx)
+				return ferr
+			})
 			r.mu.Lock()
 			r.plInflight = nil
 			if err == nil {
@@ -630,6 +775,12 @@ func (r *Replica) prefetchSegment(seq int) {
 		return
 	}
 	if _, filling := r.inflight[seq]; filling {
+		r.mu.Unlock()
+		return
+	}
+	if e, bad := r.negCache[seq]; bad && r.now().Before(e.until) {
+		// A demand fill just failed here; don't spend background budget
+		// re-probing until the negative entry ages out.
 		r.mu.Unlock()
 		return
 	}

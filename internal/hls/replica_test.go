@@ -21,6 +21,11 @@ type fakeSource struct {
 	mu       sync.Mutex
 	playlist []byte
 	segs     map[int][]byte
+	// segErrs returns the given error for a segment until cleared;
+	// segFail fails the next N fetches of a segment, then serves it.
+	segErrs  map[int]error
+	segFail  map[int]int
+	perSeq   map[int]int64
 
 	playlistFetches atomic.Int64
 	segmentFetches  atomic.Int64
@@ -29,7 +34,33 @@ type fakeSource struct {
 }
 
 func newFakeSource() *fakeSource {
-	return &fakeSource{segs: map[int][]byte{}}
+	return &fakeSource{
+		segs:    map[int][]byte{},
+		segErrs: map[int]error{},
+		segFail: map[int]int{},
+		perSeq:  map[int]int64{},
+	}
+}
+
+func (s *fakeSource) setSegErr(seq int, err error) {
+	s.mu.Lock()
+	s.segErrs[seq] = err
+	s.mu.Unlock()
+}
+
+// failNext makes the next n fetches of seq fail with err, after which the
+// stored segment (if any) is served — a transient upstream fault.
+func (s *fakeSource) failNext(seq, n int, err error) {
+	s.mu.Lock()
+	s.segFail[seq] = n
+	s.segErrs[seq] = err
+	s.mu.Unlock()
+}
+
+func (s *fakeSource) fetchesFor(seq int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.perSeq[seq]
 }
 
 func (s *fakeSource) setPlaylist(pl MediaPlaylist) {
@@ -57,8 +88,19 @@ func (s *fakeSource) FetchPlaylist(ctx context.Context) ([]byte, error) {
 func (s *fakeSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) {
 	s.segmentFetches.Add(1)
 	s.mu.Lock()
+	s.perSeq[seq]++
 	gate := s.gate
 	data, ok := s.segs[seq]
+	segErr := s.segErrs[seq]
+	if segErr != nil {
+		if n, transient := s.segFail[seq]; transient {
+			if n <= 0 {
+				segErr = nil
+			} else {
+				s.segFail[seq] = n - 1
+			}
+		}
+	}
 	s.mu.Unlock()
 	if gate != nil {
 		select {
@@ -66,6 +108,9 @@ func (s *fakeSource) FetchSegment(ctx context.Context, seq int) ([]byte, error) 
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+	}
+	if segErr != nil {
+		return nil, segErr
 	}
 	if !ok {
 		return nil, &UpstreamError{Status: http.StatusNotFound}
@@ -169,6 +214,126 @@ func TestReplicaSingleFlightSegmentFill(t *testing.T) {
 	}
 	if got := src.segmentFetches.Load(); got != 1 {
 		t.Errorf("cache hit still reached origin (%d fetches)", got)
+	}
+}
+
+// TestFillRetrySurvivesTransientError pins the retry-in-flight bugfix: a
+// demand fill whose first attempt hits a transient upstream fault used to
+// publish the error to every coalesced single-flight waiter; now the
+// retry budget lives inside the flight and the waiters only ever see the
+// final outcome.
+func TestFillRetrySurvivesTransientError(t *testing.T) {
+	src := newFakeSource()
+	src.setSegment(0, bytes.Repeat([]byte{0x47}, 188))
+	// First two attempts fail with a retryable 502, third succeeds.
+	src.failNext(0, 2, &UpstreamError{Status: http.StatusBadGateway})
+
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{
+		Source:       src,
+		Window:       4,
+		Enqueue:      q.enqueue,
+		RetryBackoff: time.Millisecond,
+	})
+
+	const viewers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, viewers)
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := rep.Segment(context.Background(), 0)
+			if err == nil && len(data) != 188 {
+				err = fmt.Errorf("got %d bytes", len(data))
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("viewer %d saw the transient error: %v", i, err)
+		}
+	}
+	if got := src.fetchesFor(0); got != 3 {
+		t.Errorf("origin attempts = %d, want 3 (2 failures + 1 success)", got)
+	}
+	st := rep.Stats()
+	if st.Fills != 1 {
+		t.Errorf("Fills = %d, want 1 — retries must not count as fills", st.Fills)
+	}
+	if st.FillRetries != 2 {
+		t.Errorf("FillRetries = %d, want 2", st.FillRetries)
+	}
+	if st.FillErrors != 0 {
+		t.Errorf("FillErrors = %d, want 0 for a fill that recovered", st.FillErrors)
+	}
+}
+
+// Terminal upstream answers (404: the origin is alive and says no) must
+// not burn retry attempts.
+func TestFillRetrySkipsTerminalErrors(t *testing.T) {
+	src := newFakeSource()
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{Source: src, Window: 4, Enqueue: q.enqueue, RetryBackoff: time.Millisecond})
+	if _, err := rep.Segment(context.Background(), 7); err == nil {
+		t.Fatal("want 404 error")
+	}
+	if got := src.fetchesFor(7); got != 1 {
+		t.Errorf("origin attempts = %d, want 1 — 404 is terminal", got)
+	}
+}
+
+func TestNegativeCacheShieldsUpstream(t *testing.T) {
+	src := newFakeSource()
+	clock := time.Unix(5000, 0)
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	q := &jobQueue{}
+	rep := NewReplica(ReplicaConfig{
+		Source:       src,
+		Window:       4,
+		Enqueue:      q.enqueue,
+		FillAttempts: 1,
+		NegativeTTL:  time.Second,
+		Now:          now,
+	})
+
+	// First miss pays one upstream attempt and fails.
+	if _, err := rep.Segment(context.Background(), 3); err == nil {
+		t.Fatal("want 404")
+	}
+	if got := src.fetchesFor(3); got != 1 {
+		t.Fatalf("attempts = %d", got)
+	}
+	// Requests inside the TTL are answered from the negative cache.
+	for i := 0; i < 5; i++ {
+		if _, err := rep.Segment(context.Background(), 3); err == nil {
+			t.Fatal("negative cache returned success")
+		}
+	}
+	if got := src.fetchesFor(3); got != 1 {
+		t.Errorf("negative cache leaked %d extra upstream attempts", got-1)
+	}
+	if st := rep.Stats(); st.NegativeHits != 5 {
+		t.Errorf("NegativeHits = %d, want 5", st.NegativeHits)
+	}
+	// Past the TTL the segment is probed again — and can now succeed.
+	src.setSegment(3, bytes.Repeat([]byte{0x47}, 188))
+	clockMu.Lock()
+	clock = clock.Add(2 * time.Second)
+	clockMu.Unlock()
+	data, err := rep.Segment(context.Background(), 3)
+	if err != nil || len(data) != 188 {
+		t.Fatalf("post-TTL fill: %d bytes, err %v", len(data), err)
+	}
+	if got := src.fetchesFor(3); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
 	}
 }
 

@@ -7,7 +7,9 @@ package netem
 
 import (
 	"context"
+	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -194,6 +196,110 @@ type Link struct {
 	mu       sync.Mutex
 	requests int64
 	bytes    int64
+
+	faultMu        sync.Mutex
+	fault          FaultProfile
+	rng            *rand.Rand
+	blackholeUntil time.Time
+	dropped        int64
+	spikes         int64
+}
+
+// ErrBlackhole is the terminal error returned for every request sent
+// while the link is inside a blackhole window.
+var ErrBlackhole = errors.New("netem: link blackholed")
+
+// ErrInjectedLoss is the transient error returned for a request the
+// link's fault profile randomly dropped.
+var ErrInjectedLoss = errors.New("netem: injected request loss")
+
+// FaultProfile describes probabilistic degradation applied to a Link.
+// All probabilities are in [0, 1] and evaluated per request with a
+// deterministic seeded RNG so failure sequences replay exactly.
+type FaultProfile struct {
+	// LossProb drops a request outright with this probability; the
+	// caller sees ErrInjectedLoss before any RTT is charged, modelling a
+	// lost packet that times out client-side.
+	LossProb float64
+	// SpikeProb adds Spike extra latency to a request with this
+	// probability, modelling transient congestion on the path.
+	SpikeProb float64
+	// Spike is the extra one-shot delay charged when a spike fires.
+	Spike time.Duration
+	// Seed fixes the RNG sequence (0 seeds from the profile itself so
+	// two identical profiles still behave identically).
+	Seed int64
+}
+
+// SetFault installs (or, with a zero profile, clears) the link's fault
+// profile. Safe to call while requests are in flight.
+func (l *Link) SetFault(p FaultProfile) {
+	l.faultMu.Lock()
+	defer l.faultMu.Unlock()
+	l.fault = p
+	l.rng = rand.New(rand.NewSource(p.Seed + 1))
+}
+
+// BlackholeFor opens a hard outage window: every request on the link
+// fails immediately with ErrBlackhole until d elapses or Restore is
+// called. Windows are timestamps, not timers, so they need no cleanup.
+func (l *Link) BlackholeFor(d time.Duration) {
+	l.faultMu.Lock()
+	defer l.faultMu.Unlock()
+	l.blackholeUntil = time.Now().Add(d)
+}
+
+// Restore closes any open blackhole window immediately.
+func (l *Link) Restore() {
+	l.faultMu.Lock()
+	defer l.faultMu.Unlock()
+	l.blackholeUntil = time.Time{}
+}
+
+// Blackholed reports whether the link is currently inside an outage
+// window.
+func (l *Link) Blackholed() bool {
+	l.faultMu.Lock()
+	defer l.faultMu.Unlock()
+	return time.Now().Before(l.blackholeUntil)
+}
+
+// Dropped reports how many requests the link has failed by fault
+// injection (loss and blackhole combined).
+func (l *Link) Dropped() int64 {
+	l.faultMu.Lock()
+	defer l.faultMu.Unlock()
+	return l.dropped
+}
+
+// Spikes reports how many requests were hit with a latency spike.
+func (l *Link) Spikes() int64 {
+	l.faultMu.Lock()
+	defer l.faultMu.Unlock()
+	return l.spikes
+}
+
+// admit applies the fault profile to one request: it returns a non-nil
+// error for dropped requests and otherwise the extra latency to charge.
+func (l *Link) admit() (time.Duration, error) {
+	l.faultMu.Lock()
+	defer l.faultMu.Unlock()
+	if !l.blackholeUntil.IsZero() && time.Now().Before(l.blackholeUntil) {
+		l.dropped++
+		return 0, ErrBlackhole
+	}
+	if l.rng == nil {
+		return 0, nil
+	}
+	if l.fault.LossProb > 0 && l.rng.Float64() < l.fault.LossProb {
+		l.dropped++
+		return 0, ErrInjectedLoss
+	}
+	if l.fault.SpikeProb > 0 && l.rng.Float64() < l.fault.SpikeProb {
+		l.spikes++
+		return l.fault.Spike, nil
+	}
+	return 0, nil
 }
 
 func (l *Link) init() {
@@ -242,13 +348,17 @@ type linkTransport struct {
 
 func (t *linkTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.l.init()
-	if t.l.RTT > 0 {
+	extra, err := t.l.admit()
+	if err != nil {
+		return nil, err
+	}
+	if delay := t.l.RTT + extra; delay > 0 {
 		// One round trip covers request propagation plus first response
 		// byte; body pacing below accounts for the rest.
 		select {
 		case <-req.Context().Done():
 			return nil, req.Context().Err()
-		case <-time.After(t.l.RTT):
+		case <-time.After(delay):
 		}
 	}
 	resp, err := t.base.RoundTrip(req)

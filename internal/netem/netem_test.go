@@ -2,6 +2,7 @@ package netem
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -178,6 +179,127 @@ func TestLinkCancelledDuringRTT(t *testing.T) {
 	}
 	if l.Requests() != 0 {
 		t.Errorf("cancelled request was counted")
+	}
+}
+
+func TestLinkBlackholeWindow(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	l := &Link{}
+	cli := l.Client()
+	l.BlackholeFor(time.Hour)
+	if !l.Blackholed() {
+		t.Fatal("link not blackholed after BlackholeFor")
+	}
+	if _, err := cli.Get(srv.URL); !errors.Is(err, ErrBlackhole) {
+		t.Fatalf("err = %v, want ErrBlackhole", err)
+	}
+	if l.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", l.Dropped())
+	}
+	if l.Requests() != 0 {
+		t.Errorf("blackholed request was counted as traversing the link")
+	}
+	l.Restore()
+	if l.Blackholed() {
+		t.Fatal("link still blackholed after Restore")
+	}
+	resp, err := cli.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after Restore: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestLinkFaultProfileLossIsDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	run := func(seed int64) []bool {
+		l := &Link{}
+		l.SetFault(FaultProfile{LossProb: 0.5, Seed: seed})
+		cli := l.Client()
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			resp, err := cli.Get(srv.URL)
+			if err != nil {
+				if !errors.Is(err, ErrInjectedLoss) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				outcomes = append(outcomes, false)
+				continue
+			}
+			resp.Body.Close()
+			outcomes = append(outcomes, true)
+		}
+		return outcomes
+	}
+
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	var losses int
+	for _, ok := range a {
+		if !ok {
+			losses++
+		}
+	}
+	if losses < 8 || losses > 32 {
+		t.Errorf("losses = %d of 40 at p=0.5; RNG not applied per request", losses)
+	}
+
+	l := &Link{}
+	l.SetFault(FaultProfile{LossProb: 0.5, Seed: 7})
+	cli := l.Client()
+	for range a {
+		if resp, err := cli.Get(srv.URL); err == nil {
+			resp.Body.Close()
+		}
+	}
+	if got := l.Dropped(); got != int64(losses) {
+		t.Errorf("Dropped = %d, want %d", got, losses)
+	}
+}
+
+func TestLinkLatencySpike(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	l := &Link{}
+	// SpikeProb 1: every request pays the spike.
+	l.SetFault(FaultProfile{SpikeProb: 1, Spike: 80 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	resp, err := l.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e := time.Since(start); e < 70*time.Millisecond {
+		t.Errorf("spiked request completed in %v, want >= 80ms", e)
+	}
+	if l.Spikes() != 1 {
+		t.Errorf("Spikes = %d, want 1", l.Spikes())
+	}
+	// Clearing the profile removes the spike.
+	l.SetFault(FaultProfile{})
+	start = time.Now()
+	resp, err = l.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e := time.Since(start); e > 60*time.Millisecond {
+		t.Errorf("request after clearing profile took %v", e)
 	}
 }
 

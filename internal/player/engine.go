@@ -37,6 +37,10 @@ type Metrics struct {
 	// StallTime is the total mid-playback rebuffering time.
 	StallTime  time.Duration
 	StallCount int
+	// LongestStall is the single worst rebuffering interval — the metric
+	// the outage scenarios bound: failover is allowed to cost one stall,
+	// but that stall must stay short.
+	LongestStall time.Duration
 	// StallRatio is stall / (stall + play), the Fig. 3 metric.
 	StallRatio float64
 	// AvgStall is the mean stall event duration (RTMP playbackMeta).
@@ -99,6 +103,16 @@ func (e Engine) Run(chunks []Chunk, sessionDur time.Duration) Metrics {
 	var deliverySum time.Duration
 	var deliveryN int
 
+	// endStall closes the stall interval that began at stallStart,
+	// accumulating total stall time and tracking the single worst one.
+	endStall := func(end time.Duration) {
+		d := end - stallStart
+		m.StallTime += d
+		if d > m.LongestStall {
+			m.LongestStall = d
+		}
+	}
+
 	// consume advances playback by d, draining the buffer queue and
 	// sampling playback latency as each chunk's tail is rendered.
 	consume := func(until time.Duration) {
@@ -157,7 +171,7 @@ func (e Engine) Run(chunks []Chunk, sessionDur time.Duration) Metrics {
 			}
 			if buffer >= threshold {
 				if started {
-					m.StallTime += now - stallStart
+					endStall(now)
 				} else {
 					m.JoinTime = now
 					started = true
@@ -171,10 +185,10 @@ func (e Engine) Run(chunks []Chunk, sessionDur time.Duration) Metrics {
 		consume(sessionDur)
 		if !playing {
 			// Stalled at the tail: the remaining time is rebuffering.
-			m.StallTime += sessionDur - stallStart
+			endStall(sessionDur)
 		}
 	} else if started {
-		m.StallTime += sessionDur - stallStart
+		endStall(sessionDur)
 	} else {
 		// Never started: the whole session was join time.
 		m.JoinTime = sessionDur

@@ -56,6 +56,34 @@ func TestEngineGapCausesStall(t *testing.T) {
 	}
 }
 
+func TestEngineLongestStallTracksWorstGap(t *testing.T) {
+	e := Engine{Startup: sec(1), Resume: sec(1)}
+	var chunks []Chunk
+	// Smooth start, a ~2s gap, more smooth media, then a ~6s gap.
+	for i := 0; i < 5; i++ {
+		chunks = append(chunks, Chunk{Arrival: sec(float64(i)), MediaStart: sec(float64(i)), MediaEnd: sec(float64(i) + 1), CaptureEnd: sec(float64(i))})
+	}
+	for i := 5; i < 15; i++ {
+		chunks = append(chunks, Chunk{Arrival: sec(float64(i) + 2), MediaStart: sec(float64(i)), MediaEnd: sec(float64(i) + 1), CaptureEnd: sec(float64(i) + 2)})
+	}
+	for i := 15; i < 30; i++ {
+		chunks = append(chunks, Chunk{Arrival: sec(float64(i) + 8), MediaStart: sec(float64(i)), MediaEnd: sec(float64(i) + 1), CaptureEnd: sec(float64(i) + 8)})
+	}
+	m := e.Run(chunks, sec(40))
+	if m.StallCount < 2 {
+		t.Fatalf("stalls = %d, want >= 2", m.StallCount)
+	}
+	if m.LongestStall < sec(4) || m.LongestStall > sec(8) {
+		t.Errorf("longest stall = %v, want ~6s", m.LongestStall)
+	}
+	if m.LongestStall > m.StallTime {
+		t.Errorf("longest stall %v exceeds total stall time %v", m.LongestStall, m.StallTime)
+	}
+	if m.LongestStall < m.AvgStall {
+		t.Errorf("longest stall %v below average %v", m.LongestStall, m.AvgStall)
+	}
+}
+
 func TestEngineNeverStarts(t *testing.T) {
 	e := Engine{Startup: sec(5), Resume: sec(5)}
 	// Only 2 seconds of media ever arrive: playback never begins.

@@ -187,11 +187,25 @@ type cdnPOP struct {
 
 	// originLink/originHTTP shape the POP→origin fill path; peers are the
 	// fill candidates strictly nearer than the origin, nearest first, each
-	// with its own shaped link. Wired once by wireCDNTopology before the
-	// service accepts traffic, immutable afterwards.
-	originLink *netem.Link
-	originHTTP *http.Client
-	peers      []popPeer
+	// with its own shaped link. failover is every other POP ordered by
+	// RTT — the steering order viewers fall back through when this POP is
+	// unhealthy. originBreaker guards the POP→origin path (shared by all
+	// of this POP's replicas: link health is per upstream, not per
+	// broadcast). Wired once by wireCDNTopology before the service
+	// accepts traffic, immutable afterwards.
+	originLink    *netem.Link
+	originHTTP    *http.Client
+	originBreaker *hls.Breaker
+	peers         []popPeer
+	failover      []*cdnPOP
+
+	// blackhole marks the POP dead: every viewer and peer request is
+	// refused with 503 until restored — the fault injection a regional
+	// outage flips. reroutes counts viewers steered away from this POP
+	// (it was their hash-preferred edge) because it was unhealthy.
+	blackhole atomic.Bool
+	reroutes  atomic.Int64
+	healthT   healthTracker
 
 	mu       sync.RWMutex
 	replicas map[string]popReplica
@@ -219,6 +233,7 @@ type retiredReplicaStats struct {
 	peerFills, peerFillBytes, peerMisses, originFills int64
 	warmups, fillCapWaits                             int64
 	playlistRefreshes, staleServes, evictions         int64
+	fillRetries, negativeHits, peerSkips              int64
 }
 
 // foldRetiredLocked absorbs a departing replica's counters (caller holds
@@ -239,15 +254,20 @@ func (p *cdnPOP) foldRetiredLocked(e popReplica) {
 	r.peerFills += ts.PeerFills
 	r.peerFillBytes += ts.PeerFillBytes
 	r.peerMisses += ts.PeerMisses
+	r.peerSkips += ts.PeerSkips
 	r.originFills += ts.OriginFills
+	r.fillRetries += rs.FillRetries
+	r.negativeHits += rs.NegativeHits
 }
 
-// popPeer is one fill candidate of a POP: a peer POP and the shaped link
-// to it.
+// popPeer is one fill candidate of a POP: a peer POP, the shaped link to
+// it, and the breaker guarding that link (shared by every replica's
+// probes — a dead peer is dead for all broadcasts at once).
 type popPeer struct {
-	pop    *cdnPOP
-	link   *netem.Link
-	client *http.Client
+	pop     *cdnPOP
+	link    *netem.Link
+	client  *http.Client
+	breaker *hls.Breaker
 }
 
 // popReplica pairs an edge replica with the origin segmenter it was
@@ -258,6 +278,105 @@ type popReplica struct {
 	seg *hls.Segmenter
 	rep *hls.Replica
 	src *hls.TieredSource
+}
+
+// POPHealth is the steering-facing health state of one POP.
+type POPHealth int
+
+const (
+	// HealthOK serves viewers normally.
+	HealthOK POPHealth = iota
+	// HealthDegraded still answers but its fill paths are struggling (an
+	// open origin breaker or a high windowed fill error rate): new
+	// viewers are steered to a healthy POP when one exists.
+	HealthDegraded
+	// HealthDown refuses requests (blackholed); viewers fail over.
+	HealthDown
+)
+
+func (h POPHealth) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// healthSampleInterval is how often the windowed fill error rate is
+// resampled; degradedErrorRate the windowed rate past which a POP is
+// considered degraded.
+const (
+	healthSampleInterval = 2 * time.Second
+	degradedErrorRate    = 0.5
+)
+
+// healthTracker turns cumulative fill counters into a windowed error
+// rate: the cumulative ratio would never recover after an outage, so the
+// rate is computed over deltas between samples.
+type healthTracker struct {
+	mu         sync.Mutex
+	lastAt     time.Time
+	lastFills  int64
+	lastErrors int64
+	rate       float64
+}
+
+// sample folds the current cumulative totals in and returns the windowed
+// error rate. Totals are resampled at most every healthSampleInterval;
+// an idle window (no fills) reads as healthy.
+func (t *healthTracker) sample(now time.Time, fills, errors int64) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.lastAt.IsZero() {
+		t.lastAt, t.lastFills, t.lastErrors = now, fills, errors
+		return t.rate
+	}
+	if now.Sub(t.lastAt) < healthSampleInterval {
+		return t.rate
+	}
+	df, de := fills-t.lastFills, errors-t.lastErrors
+	if df > 0 {
+		t.rate = float64(de) / float64(df)
+	} else {
+		t.rate = 0
+	}
+	t.lastAt, t.lastFills, t.lastErrors = now, fills, errors
+	return t.rate
+}
+
+// health classifies the POP for steering: blackholed is down; an open or
+// probing origin breaker, or a high windowed fill error rate, is
+// degraded. Breaker state is a pair of atomic loads, so the demand-path
+// steering check is cheap.
+func (p *cdnPOP) health() POPHealth {
+	if p.blackhole.Load() {
+		return HealthDown
+	}
+	if p.originBreaker != nil && p.originBreaker.State() != hls.BreakerClosed {
+		return HealthDegraded
+	}
+	if p.fillErrorRate() > degradedErrorRate {
+		return HealthDegraded
+	}
+	return HealthOK
+}
+
+// fillErrorRate samples the POP-wide windowed fill error rate across
+// live and retired replicas.
+func (p *cdnPOP) fillErrorRate() float64 {
+	p.mu.RLock()
+	fills, errs := p.retired.fills, p.retired.fillErrors
+	for _, e := range p.replicas {
+		rs := e.rep.Stats()
+		fills += rs.Fills
+		errs += rs.FillErrors
+	}
+	p.mu.RUnlock()
+	return p.healthT.sample(time.Now(), fills, errs)
 }
 
 func newCDNPOP(svc *Service, index int, region geo.Region) (*cdnPOP, error) {
@@ -298,11 +417,20 @@ func (p *cdnPOP) register(id string, seg *hls.Segmenter) {
 		// Replacing an ended replica (relaunch): keep its counters.
 		p.foldRetiredLocked(cur)
 	}
-	src := &hls.TieredSource{
-		Origin: &hls.FillClient{BaseURL: p.svc.origin.baseURL() + "/hls/" + id, HTTP: p.originHTTP},
+	// Every upstream is gated by the breaker of its link: a dead origin
+	// path or peer trips once per POP and every broadcast's fills skip it
+	// in O(1) until the half-open probe clears.
+	var origin hls.SegmentSource = &hls.FillClient{BaseURL: p.svc.origin.baseURL() + "/hls/" + id, HTTP: p.originHTTP}
+	if p.originBreaker != nil {
+		origin = &hls.BreakerSource{Source: origin, Breaker: p.originBreaker}
 	}
+	src := &hls.TieredSource{Origin: origin}
 	for _, pr := range p.peers {
-		src.Peers = append(src.Peers, &hls.FillClient{BaseURL: pr.pop.baseURL() + "/peer/" + id, HTTP: pr.client})
+		var peer hls.SegmentSource = &hls.FillClient{BaseURL: pr.pop.baseURL() + "/peer/" + id, HTTP: pr.client}
+		if pr.breaker != nil {
+			peer = &hls.BreakerSource{Source: peer, Breaker: pr.breaker}
+		}
+		src.Peers = append(src.Peers, peer)
 	}
 	p.replicas[id] = popReplica{
 		seg: seg,
@@ -312,6 +440,8 @@ func (p *cdnPOP) register(id string, seg *hls.Segmenter) {
 			Window:             seg.WindowSize(),
 			TargetDuration:     seg.Target(),
 			MaxConcurrentFills: p.svc.cfg.CDNFillConcurrency,
+			FillTimeout:        p.svc.cfg.CDNFillTimeout,
+			FillAttempts:       p.svc.cfg.CDNFillAttempts,
 			Enqueue:            p.fill.Enqueue,
 		}),
 	}
@@ -377,6 +507,13 @@ func (p *cdnPOP) replica(id string) *hls.Replica {
 // ServeHTTP routes /hls/<broadcastID>/<file> (viewer-facing, fills on
 // miss) and /peer/<broadcastID>/<file> (peer-facing, cache-only).
 func (p *cdnPOP) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.blackhole.Load() {
+		// A dead POP answers nothing — viewers and peer probes alike get
+		// an immediate refusal (peers' breakers turn this into O(1)
+		// skips). Counted nowhere: a dead machine keeps no counters.
+		http.Error(w, "pop offline", http.StatusServiceUnavailable)
+		return
+	}
 	if id, file, ok := splitMountPath(r.URL.Path, "/peer/"); ok {
 		p.servePeer(w, r, id, file)
 		return
@@ -449,7 +586,25 @@ func (p *cdnPOP) stats() POPSnapshot {
 		PeerRequests: p.PeerRequests.Load(),
 		PeerServes:   p.PeerServes.Load(),
 		PeerBytesOut: p.PeerBytesOut.Load(),
+		Health:       p.health().String(),
+		Reroutes:     p.reroutes.Load(),
 	}
+	if p.originBreaker != nil {
+		st.OriginBreaker = p.originBreaker.State().String()
+		st.BreakerTrips = p.originBreaker.Trips()
+		st.BreakerRejects = p.originBreaker.Rejects()
+	}
+	for _, pr := range p.peers {
+		if pr.breaker == nil {
+			continue
+		}
+		st.BreakerTrips += pr.breaker.Trips()
+		st.BreakerRejects += pr.breaker.Rejects()
+		if pr.breaker.State() != hls.BreakerClosed {
+			st.PeerBreakersOpen++
+		}
+	}
+	st.FillErrorRate = p.fillErrorRate()
 	p.mu.RLock()
 	entries := make([]popReplica, 0, len(p.replicas))
 	for _, e := range p.replicas {
@@ -471,7 +626,10 @@ func (p *cdnPOP) stats() POPSnapshot {
 	st.PeerFills = ret.peerFills
 	st.PeerFillBytes = ret.peerFillBytes
 	st.PeerMisses = ret.peerMisses
+	st.PeerSkips = ret.peerSkips
 	st.OriginFills = ret.originFills
+	st.FillRetries = ret.fillRetries
+	st.NegativeHits = ret.negativeHits
 	st.Broadcasts = len(entries)
 	st.FillQueueDropped = p.fill.Dropped.Load()
 	for _, e := range entries {
@@ -492,10 +650,13 @@ func (p *cdnPOP) stats() POPSnapshot {
 		if rs.PlaylistAge > st.MaxPlaylistAge {
 			st.MaxPlaylistAge = rs.PlaylistAge
 		}
+		st.FillRetries += rs.FillRetries
+		st.NegativeHits += rs.NegativeHits
 		ts := e.src.Stats()
 		st.PeerFills += ts.PeerFills
 		st.PeerFillBytes += ts.PeerFillBytes
 		st.PeerMisses += ts.PeerMisses
+		st.PeerSkips += ts.PeerSkips
 		st.OriginFills += ts.OriginFills
 	}
 	if st.FillCap == 0 {
@@ -594,7 +755,38 @@ func (s *Service) wireCDNTopology() {
 				RTT:       time.Duration(float64(c.rtt) * scale),
 				Bandwidth: s.cfg.CDNLinkBandwidth,
 			}
-			p.peers = append(p.peers, popPeer{pop: c.pop, link: link, client: link.Client()})
+			p.peers = append(p.peers, popPeer{
+				pop:     c.pop,
+				link:    link,
+				client:  link.Client(),
+				breaker: hls.NewBreaker(s.cfg.CDNBreakerFailures, s.cfg.CDNBreakerCooldown, nil),
+			})
+		}
+		p.originBreaker = hls.NewBreaker(s.cfg.CDNBreakerFailures, s.cfg.CDNBreakerCooldown, nil)
+
+		// Failover order for viewer steering: every other POP by RTT —
+		// unlike the peer-fill candidates, it is not limited to POPs
+		// nearer than the origin, because a viewer must land somewhere
+		// even when the whole cluster is dark.
+		type ranked struct {
+			pop *cdnPOP
+			rtt time.Duration
+		}
+		var all []ranked
+		for _, q := range s.cdn {
+			if q == p {
+				continue
+			}
+			all = append(all, ranked{q, geo.LinkRTT(pLoc, q.region.Bounds.Center())})
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			if all[i].rtt != all[j].rtt {
+				return all[i].rtt < all[j].rtt
+			}
+			return all[i].pop.index < all[j].pop.index
+		})
+		for _, r := range all {
+			p.failover = append(p.failover, r.pop)
 		}
 	}
 }

@@ -74,6 +74,20 @@ type Config struct {
 	// fetches per replica (see hls.ReplicaConfig.MaxConcurrentFills);
 	// 0 uses hls.DefaultFillConcurrency.
 	CDNFillConcurrency int
+	// CDNFillTimeout is the overall per-fill budget at each replica
+	// (attempts + backoff); 0 uses the hls default of 5 s. Tests and the
+	// outage scenario shrink it so failover happens on a player timescale.
+	CDNFillTimeout time.Duration
+	// CDNFillAttempts is the per-fill retry budget inside the
+	// single-flight (see hls.ReplicaConfig.FillAttempts); 0 uses
+	// hls.DefaultFillAttempts.
+	CDNFillAttempts int
+	// CDNBreakerFailures is the consecutive-failure threshold tripping a
+	// fill-path circuit breaker (per upstream: origin link and each peer
+	// link of every POP); CDNBreakerCooldown how long a tripped breaker
+	// stays open before its half-open probe. Zeros use the hls defaults.
+	CDNBreakerFailures int
+	CDNBreakerCooldown time.Duration
 	// CDNUnregisterLinger is how long an ended broadcast stays registered
 	// at the origin tier and edge POPs, so viewers mid-stream can fetch
 	// the final (ENDLIST) playlist and drain the last window. Zero
@@ -485,7 +499,7 @@ func (s *Service) AccessVideo(id string) (api.AccessVideoResponse, error) {
 		if err := h.enableHLS(); err != nil {
 			return resp, err
 		}
-		pop := s.cdn[int(fnv32(id))%len(s.cdn)]
+		pop := s.selectPOP(id)
 		resp.Protocol = "HLS"
 		resp.HLSBaseURL = pop.baseURL() + "/hls/" + id
 	} else {
@@ -497,6 +511,114 @@ func (s *Service) AccessVideo(id string) (api.AccessVideoResponse, error) {
 	// Chat room mirrors the audience size.
 	s.Chat.Room(id, chat.RoomConfigForViewers(viewers, b.Seed))
 	return resp, nil
+}
+
+// selectPOP is health-driven viewer steering: the hash-preferred POP
+// (viewer proximity model) serves while healthy; otherwise the viewer is
+// re-routed along the preferred POP's failover order to the nearest
+// healthy POP, falling back to the nearest merely-degraded one, and only
+// lands on a down POP when every edge is dark. Re-routes are counted on
+// the preferred POP — "viewers steered away from here".
+func (s *Service) selectPOP(id string) *cdnPOP {
+	preferred := s.cdn[int(fnv32(id))%len(s.cdn)]
+	if len(s.cdn) == 1 || preferred.health() == HealthOK {
+		return preferred
+	}
+	var degraded *cdnPOP
+	if preferred.health() == HealthDegraded {
+		// A degraded POP keeps its viewers unless someone healthy exists:
+		// locality still beats a farther degraded edge.
+		degraded = preferred
+	}
+	target := preferred
+	for _, q := range preferred.failover {
+		switch q.health() {
+		case HealthOK:
+			target = q
+		case HealthDegraded:
+			if degraded == nil {
+				degraded = q
+			}
+			continue
+		default:
+			continue
+		}
+		break
+	}
+	if target == preferred && degraded != nil {
+		target = degraded
+	}
+	if target != preferred {
+		preferred.reroutes.Add(1)
+	}
+	return target
+}
+
+// BlackholePOP injects a hard POP outage: POP i refuses every viewer and
+// peer request with 503 until RestorePOP. Peers' breakers trip and skip
+// it; steering routes its viewers to the next-nearest healthy POP.
+func (s *Service) BlackholePOP(i int) {
+	if i >= 0 && i < len(s.cdn) {
+		s.cdn[i].blackhole.Store(true)
+	}
+}
+
+// RestorePOP lifts a POP outage and re-warms every registered replica
+// through the normal background fill path (peer probes first), so the
+// recovered edge returns warm instead of eating a miss storm. Counters
+// are untouched — they stay cumulative across outage and recovery.
+func (s *Service) RestorePOP(i int) {
+	if i < 0 || i >= len(s.cdn) {
+		return
+	}
+	p := s.cdn[i]
+	p.blackhole.Store(false)
+	p.mu.RLock()
+	ids := make([]string, 0, len(p.replicas))
+	for id := range p.replicas {
+		ids = append(ids, id)
+	}
+	p.mu.RUnlock()
+	for _, id := range ids {
+		p.warm(id)
+	}
+}
+
+// RegionOutage blackholes every POP placed in the named region — the
+// scenario-scale fault: a whole geography goes dark at once. It returns
+// how many POPs went down.
+func (s *Service) RegionOutage(region string) int {
+	n := 0
+	for i, p := range s.cdn {
+		if p.region.Name == region {
+			s.BlackholePOP(i)
+			n++
+		}
+	}
+	return n
+}
+
+// RestoreRegion lifts a regional outage, re-warming each recovered POP.
+// It returns how many POPs came back.
+func (s *Service) RestoreRegion(region string) int {
+	n := 0
+	for i, p := range s.cdn {
+		if p.region.Name == region && p.blackhole.Load() {
+			s.RestorePOP(i)
+			n++
+		}
+	}
+	return n
+}
+
+// POPHealthStates lists each POP's current steering state, index-aligned
+// with Snapshot().POPs.
+func (s *Service) POPHealthStates() []string {
+	out := make([]string, len(s.cdn))
+	for i, p := range s.cdn {
+		out[i] = p.health().String()
+	}
+	return out
 }
 
 func fnv32(s string) uint32 {

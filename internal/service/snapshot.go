@@ -68,8 +68,27 @@ type POPSnapshot struct {
 	// PeerFills counts segments this POP obtained from a nearer peer
 	// instead of the origin (the origin-offload path), PeerFillBytes
 	// their volume, PeerMisses the peer probes that came back empty;
+	// PeerSkips the probes answered in O(1) by an open peer breaker;
 	// OriginFills the fetches that fell through to the origin.
-	PeerFills, PeerFillBytes, PeerMisses, OriginFills int64
+	PeerFills, PeerFillBytes, PeerMisses, PeerSkips, OriginFills int64
+	// Health is the POP's steering state ("ok", "degraded", "down");
+	// FillErrorRate the windowed fill error rate behind it.
+	Health        string
+	FillErrorRate float64
+	// OriginBreaker is the POP→origin breaker state ("closed", "open",
+	// "half-open"); PeerBreakersOpen how many of the POP's peer-link
+	// breakers are currently not closed. BreakerTrips/BreakerRejects
+	// accumulate trips and fast-rejections across all of the POP's
+	// fill-path breakers — cumulative through outage and recovery.
+	OriginBreaker    string
+	PeerBreakersOpen int
+	BreakerTrips     int64
+	BreakerRejects   int64
+	// FillRetries counts extra upstream attempts spent recovering
+	// transient fill failures; NegativeHits requests answered from the
+	// negative cache; Reroutes viewers steered away because this
+	// (hash-preferred) POP was unhealthy.
+	FillRetries, NegativeHits, Reroutes int64
 	// PeerRequests counts fill probes arriving from peer POPs, PeerServes
 	// the ones answered from cache, PeerBytesOut their volume — this
 	// POP's contribution as a fill source for its cluster.
