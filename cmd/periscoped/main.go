@@ -52,7 +52,7 @@ func main() {
 
 	fmt.Printf("periscoped running with ~%d live broadcasts\n", *concurrent)
 	fmt.Printf("  API:  %s  (POST /api/v2/{mapGeoBroadcastFeed,getBroadcasts,playbackMeta,accessVideo,teleport})\n", tb.APIBaseURL())
-	fmt.Printf("  Chat: %s  (WebSocket /chat/<broadcastID>, avatars at /avatars/)\n", tb.ChatBaseURL())
+	fmt.Printf("  Chat: %s  (WebSocket /chat/<broadcastID>, heart taps POST /hearts/<broadcastID>, avatars at /avatars/)\n", tb.ChatBaseURL())
 	fmt.Println("  RTMP ingest fleet (region-nearest to the broadcaster):")
 	for name, rev := range tb.RTMPServerNames() {
 		fmt.Printf("    %-34s %s\n", name, rev)

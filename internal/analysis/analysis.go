@@ -513,5 +513,15 @@ func DeliveryTable(snap service.Snapshot) Table {
 		add(tier, "evictions", fmt.Sprintf("%d", p.Evictions))
 		add(tier, "max playlist age", p.MaxPlaylistAge.String())
 	}
+	c := snap.Chat
+	add("chat", "rooms (open / opened / closed)",
+		fmt.Sprintf("%d / %d / %d", c.Rooms, c.RoomsOpened, c.RoomsClosed))
+	add("chat", "members (current / joined)", fmt.Sprintf("%d / %d", c.Members, c.MembersJoined))
+	add("chat", "messages in / out", fmt.Sprintf("%d / %d", c.MessagesIn, c.MessagesOut))
+	add("chat", "hearts (taps -> deltas)", fmt.Sprintf("%d -> %d", c.HeartTaps, c.HeartDeltas))
+	add("chat", "presence updates", fmt.Sprintf("%d", c.PresenceUpdates))
+	add("chat", "queue drops / hopeless / sampled out",
+		fmt.Sprintf("%d / %d / %d", c.Drops, c.HopelessDisconnects, c.SampledOut))
+	add("chat", "send-queue depth", fmt.Sprintf("%d", c.SendQueueDepth))
 	return t
 }

@@ -1,7 +1,9 @@
-// Package chat implements the Periscope chat plane: WebSocket rooms
-// attached to broadcasts (§3), JSON-encoded chat messages that arrive even
-// when the chat UI is off, a join cap after which "new joining users
-// cannot send messages" (chat full), and an Amazon-S3-like avatar server.
+// Package chat implements the Periscope interaction plane: WebSocket
+// chat rooms attached to broadcasts (§3), JSON-encoded chat messages
+// that arrive even when the chat UI is off, a join cap after which "new
+// joining users cannot send messages" (chat full), heart taps aggregated
+// server-side into periodic counter deltas, presence (viewer-count)
+// dissemination on a jittered tick, and an Amazon-S3-like avatar server.
 //
 // The QoE study found the chat feature dominates traffic and power when
 // enabled: the app downloads chatting users' profile pictures next to
@@ -9,11 +11,17 @@
 // data rate rose from ~500 kbps to 3.5 Mbps (§5.1, §5.3). The client here
 // reproduces exactly that behaviour: avatars are fetched per message
 // displayed, with no cache.
+//
+// Fan-out mirrors the media hub: each room shards its members across K
+// workers, every member has a bounded async send queue with a drop-oldest
+// policy, and members that never drain are disconnected — one slow
+// WebSocket cannot head-of-line-block a room. In huge rooms each member
+// samples the chat stream (per-viewer comment-visibility capping) so what
+// a member sees stays bounded as the room grows.
 package chat
 
 import (
 	"encoding/json"
-	"fmt"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -24,19 +32,47 @@ import (
 	"periscope/internal/websocket"
 )
 
-// Message is one chat message as carried on the WebSocket.
+// Message kinds as carried in the "kind" field. An absent kind is a chat
+// message (the seed-era wire format).
+const (
+	// KindChat is a user-visible chat message.
+	KindChat = ""
+	// KindHeart is a single client→server heart tap (WebSocket
+	// alternative to POST /hearts/{id}).
+	KindHeart = "heart"
+	// KindHeartDelta is the server's coalesced heart counter delta:
+	// Count hearts were tapped since the previous delta.
+	KindHeartDelta = "heart_delta"
+	// KindPresence is the server's periodic viewer-count update.
+	KindPresence = "presence"
+)
+
+// Message is one interaction-plane message as carried on the WebSocket.
 type Message struct {
-	User      string `json:"user"`
-	Text      string `json:"text"`
+	Kind      string `json:"kind,omitempty"`
+	User      string `json:"user,omitempty"`
+	Text      string `json:"text,omitempty"`
 	AvatarURL string `json:"avatar_url,omitempty"`
-	SentUnix  int64  `json:"sent"`
+	// Count is the coalesced heart count on a heart_delta (or the tap
+	// multiplier on an inbound heart).
+	Count int `json:"count,omitempty"`
+	// Members/Joined carry the room gauge on a presence update.
+	Members int `json:"members,omitempty"`
+	Joined  int `json:"joined,omitempty"`
+	// SentUnixNano is the sender's clock in Unix nanoseconds — the unit is
+	// explicit in both the field name and the JSON tag, matching the
+	// client-side latency accounting.
+	SentUnixNano int64 `json:"sent_unix_nano,omitempty"`
 }
 
 // DefaultJoinCap is the number of joined users after which the chat
 // becomes full.
 const DefaultJoinCap = 100
 
-// RoomConfig tunes a simulated chat room.
+// RoomConfig tunes a chat room: the simulated chatter workload plus the
+// interaction-plane machinery (fan-out sharding, queue bounds, heart and
+// presence ticks, visibility capping). Zero values mean defaults; a
+// negative interval disables that control loop.
 type RoomConfig struct {
 	// Chatters is the number of simulated active chatting users.
 	Chatters int
@@ -47,6 +83,26 @@ type RoomConfig struct {
 	// JoinCap caps senders (chat full).
 	JoinCap int
 	Seed    int64
+
+	// FanoutShards is the number of fan-out workers (default: GOMAXPROCS
+	// capped at DefaultFanoutShardCap).
+	FanoutShards int
+	// SendQueueDepth bounds each member's async send queue (drop-oldest
+	// beyond it).
+	SendQueueDepth int
+	// HopelessDrops disconnects a member after this many drop-oldest
+	// penalties.
+	HopelessDrops int
+	// HeartInterval is the heart-delta coalescing tick (negative disables
+	// heart dissemination).
+	HeartInterval time.Duration
+	// PresenceInterval is the viewer-count dissemination tick (negative
+	// disables presence updates).
+	PresenceInterval time.Duration
+	// VisibilityCap is the member count past which members sample the chat
+	// stream instead of receiving every message (negative disables
+	// sampling).
+	VisibilityCap int
 }
 
 // RoomConfigForViewers derives chat activity from a broadcast's audience:
@@ -65,59 +121,6 @@ func RoomConfigForViewers(viewers int, seed int64) RoomConfig {
 	}
 }
 
-// Room is one broadcast's chat room. Simulated chatters generate traffic;
-// real clients join over WebSocket and receive every message.
-type Room struct {
-	ID  string
-	cfg RoomConfig
-
-	mu      sync.Mutex
-	conns   map[*websocket.Conn]bool
-	joined  int
-	stopped bool
-	stopCh  chan struct{}
-}
-
-// NewRoom creates a room and starts its simulated chatter loop if the
-// config has any chatters.
-func NewRoom(id string, cfg RoomConfig) *Room {
-	r := &Room{ID: id, cfg: cfg, conns: map[*websocket.Conn]bool{}, stopCh: make(chan struct{})}
-	if cfg.Chatters > 0 && cfg.MsgPerChatterSec > 0 {
-		go r.generate()
-	}
-	return r
-}
-
-// generate emits simulated chat messages at the aggregate room rate.
-func (r *Room) generate() {
-	rng := rand.New(rand.NewSource(r.cfg.Seed))
-	rate := float64(r.cfg.Chatters) * r.cfg.MsgPerChatterSec
-	if rate <= 0 {
-		return
-	}
-	for {
-		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
-		if wait > 5*time.Second {
-			wait = 5 * time.Second
-		}
-		select {
-		case <-r.stopCh:
-			return
-		case <-time.After(wait):
-		}
-		user := fmt.Sprintf("user%04d", rng.Intn(r.cfg.Chatters))
-		m := Message{
-			User:     user,
-			Text:     syntheticText(rng),
-			SentUnix: time.Now().UnixNano(),
-		}
-		if rng.Float64() < r.cfg.AvatarFrac {
-			m.AvatarURL = "/avatars/" + user + ".jpg"
-		}
-		r.Broadcast(m)
-	}
-}
-
 var chatPhrases = []string{
 	"hello from finland!", "where is this?", "nice view", "omg", "hi hi hi",
 	"what's happening?", "greetings", "love this", "turn around please",
@@ -128,71 +131,39 @@ func syntheticText(rng *rand.Rand) string {
 	return chatPhrases[rng.Intn(len(chatPhrases))]
 }
 
-// Broadcast sends a message to every connected client.
-func (r *Room) Broadcast(m Message) {
-	data, err := json.Marshal(m)
-	if err != nil {
-		return
-	}
-	r.mu.Lock()
-	conns := make([]*websocket.Conn, 0, len(r.conns))
-	for c := range r.conns {
-		conns = append(conns, c)
-	}
-	r.mu.Unlock()
-	for _, c := range conns {
-		if err := c.WriteMessage(websocket.OpText, data); err != nil {
-			r.mu.Lock()
-			delete(r.conns, c)
-			r.mu.Unlock()
-		}
-	}
+// Stats is the server-wide interaction-plane snapshot: gauges for the
+// current state plus cumulative counters that stay monotonic across room
+// close (closed rooms fold into an aggregate).
+type Stats struct {
+	// Gauges.
+	Rooms          int // rooms currently open
+	Members        int // members currently attached across rooms
+	SendQueueDepth int // messages queued across all member send queues
+
+	// Cumulative counters (monotonic across room close).
+	RoomsOpened         int64
+	RoomsClosed         int64
+	MembersJoined       int64
+	MessagesIn          int64
+	MessagesOut         int64
+	HeartTaps           int64
+	HeartDeltas         int64
+	PresenceUpdates     int64
+	Drops               int64
+	HopelessDisconnects int64
+	SampledOut          int64
 }
 
-// Join attaches a WebSocket connection to the room. The returned canSend
-// flag is false once the room is full — late joiners only listen.
-func (r *Room) Join(c *websocket.Conn) (canSend bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.conns[c] = true
-	r.joined++
-	cap := r.cfg.JoinCap
-	if cap == 0 {
-		cap = DefaultJoinCap
-	}
-	return r.joined <= cap
-}
-
-// Leave detaches a connection.
-func (r *Room) Leave(c *websocket.Conn) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.conns, c)
-}
-
-// Members reports the current number of attached clients.
-func (r *Room) Members() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.conns)
-}
-
-// Close stops the chatter loop and drops members.
-func (r *Room) Close() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.stopped {
-		r.stopped = true
-		close(r.stopCh)
-	}
-	r.conns = map[*websocket.Conn]bool{}
-}
-
-// Server hosts chat rooms at /chat/{broadcastID} and profile pictures at
-// /avatars/{user}.jpg.
+// Server hosts chat rooms at /chat/{broadcastID}, heart taps at
+// /hearts/{broadcastID}, and profile pictures at /avatars/{user}.jpg.
 type Server struct {
 	mu    sync.Mutex
 	rooms map[string]*Room
+	// closed holds the folded counters of every room closed so far, so
+	// server-level totals never go backwards when a room dies.
+	closed      Stats
+	roomsOpened int64
+	roomsClosed int64
 	// AvatarMinKB/AvatarMaxKB bound the synthetic profile-picture sizes;
 	// "the precise effect on traffic depends on … the format and
 	// resolution of profile pictures" (§5.1).
@@ -205,37 +176,119 @@ func NewServer() *Server {
 	return &Server{rooms: map[string]*Room{}, AvatarMinKB: 15, AvatarMaxKB: 80}
 }
 
-// Room returns (creating if needed) the room for a broadcast.
+// Room returns (creating if needed) the room for a broadcast. Reusing a
+// room cancels any pending deferred close: a broadcast relaunched during
+// the end linger keeps its room.
 func (s *Server) Room(id string, cfg RoomConfig) *Room {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.rooms[id]; ok {
+		r.ending.Store(false)
 		return r
 	}
 	r := NewRoom(id, cfg)
 	s.rooms[id] = r
+	s.roomsOpened++
 	return r
 }
 
-// CloseRoom shuts a room down (broadcast ended).
+// Lookup returns the room for a broadcast, or nil.
+func (s *Server) Lookup(id string) *Room {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rooms[id]
+}
+
+// CloseRoom shuts a room down (broadcast ended) and folds its counters
+// into the server aggregate.
 func (s *Server) CloseRoom(id string) {
 	s.mu.Lock()
 	r := s.rooms[id]
 	delete(s.rooms, id)
 	s.mu.Unlock()
+	s.closeAndFold(r)
+}
+
+// BeginClose marks the room for id as ending and returns it (nil when no
+// room exists). The room stays open — members keep chatting while HLS
+// viewers drain — until CloseRoomIf finishes the job after the linger.
+func (s *Server) BeginClose(id string) *Room {
+	s.mu.Lock()
+	r := s.rooms[id]
+	s.mu.Unlock()
 	if r != nil {
-		r.Close()
+		r.ending.Store(true)
+	}
+	return r
+}
+
+// CloseRoomIf closes the room for id only if it is still the given room
+// and still marked ending — a broadcast relaunched during the close
+// linger reclaims its room (clearing the mark), and a stale deferred
+// close must not tear it down.
+func (s *Server) CloseRoomIf(id string, want *Room) {
+	if want == nil {
+		return
+	}
+	s.mu.Lock()
+	r := s.rooms[id]
+	if r != want || !r.ending.Load() {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.rooms, id)
+	s.mu.Unlock()
+	s.closeAndFold(r)
+}
+
+// Close shuts every room down (service shutdown).
+func (s *Server) Close() {
+	s.mu.Lock()
+	rooms := s.rooms
+	s.rooms = map[string]*Room{}
+	s.mu.Unlock()
+	for _, r := range rooms {
+		s.closeAndFold(r)
 	}
 }
 
-// ServeHTTP routes chat joins and avatar downloads.
+func (s *Server) closeAndFold(r *Room) {
+	if r == nil {
+		return
+	}
+	r.Close()
+	s.mu.Lock()
+	r.counters.addTo(&s.closed)
+	s.roomsClosed++
+	s.mu.Unlock()
+}
+
+// Snapshot sums live rooms and the closed-room aggregate. Cumulative
+// counters are monotonic across room close; gauges reflect only open
+// rooms.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	st := s.closed
+	st.RoomsOpened = s.roomsOpened
+	st.RoomsClosed = s.roomsClosed
+	rooms := make([]*Room, 0, len(s.rooms))
+	for _, r := range s.rooms {
+		rooms = append(rooms, r)
+	}
+	s.mu.Unlock()
+	st.Rooms = len(rooms)
+	for _, r := range rooms {
+		r.addTo(&st)
+	}
+	return st
+}
+
+// ServeHTTP routes chat joins, heart taps, and avatar downloads.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case strings.HasPrefix(r.URL.Path, "/chat/"):
 		id := strings.TrimPrefix(r.URL.Path, "/chat/")
-		s.mu.Lock()
-		room := s.rooms[id]
-		s.mu.Unlock()
+		room := s.Lookup(id)
 		if room == nil {
 			http.NotFound(w, r)
 			return
@@ -244,8 +297,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
-		canSend := room.Join(conn)
+		canSend, ok := room.Join(conn)
+		if !ok {
+			// The room closed between the lookup and the join.
+			conn.Close()
+			return
+		}
 		go s.serveMember(room, conn, canSend)
+	case strings.HasPrefix(r.URL.Path, "/hearts/"):
+		s.serveHeart(w, r)
 	case strings.HasPrefix(r.URL.Path, "/avatars/"):
 		s.serveAvatar(w, r)
 	default:
@@ -253,8 +313,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// serveMember relays inbound messages from a member (if allowed) until the
-// connection drops.
+// serveHeart handles POST /hearts/{broadcastID}?n=N — the tap endpoint.
+// The tap path is a counter bump, never a fan-out; deltas leave the room
+// on the heart tick.
+func (s *Server) serveHeart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/hearts/")
+	room := s.Lookup(id)
+	if room == nil {
+		http.NotFound(w, r)
+		return
+	}
+	n := 1
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	room.Heart(n)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// serveMember relays inbound messages from a member until the connection
+// drops. Chat messages from late joiners (chat full) are dropped; heart
+// taps are accepted from everyone.
 func (s *Server) serveMember(room *Room, conn *websocket.Conn, canSend bool) {
 	defer func() {
 		room.Leave(conn)
@@ -265,11 +354,17 @@ func (s *Server) serveMember(room *Room, conn *websocket.Conn, canSend bool) {
 		if err != nil {
 			return
 		}
-		if !canSend {
-			continue // chat full: messages from late joiners are dropped
-		}
 		var m Message
-		if json.Unmarshal(data, &m) == nil {
+		if json.Unmarshal(data, &m) != nil {
+			continue
+		}
+		switch m.Kind {
+		case KindHeart:
+			room.Heart(m.Count)
+		case KindChat:
+			if !canSend {
+				continue // chat full: messages from late joiners are dropped
+			}
 			room.Broadcast(m)
 		}
 	}

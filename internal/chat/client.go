@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -15,6 +16,10 @@ import (
 type ClientConfig struct {
 	// ChatURL is the ws:// URL of the room.
 	ChatURL string
+	// HeartsURL is the http:// tap endpoint for this room (optional; only
+	// needed to send hearts over HTTP — Heart falls back to the WebSocket
+	// when unset).
+	HeartsURL string
 	// AvatarBaseURL is the http:// base for profile pictures.
 	AvatarBaseURL string
 	// DisplayChat mirrors the app's chat toggle. When false, JSON messages
@@ -38,6 +43,19 @@ type ClientStats struct {
 	// DuplicateAvatarDownloads counts re-downloads of a user's picture —
 	// direct evidence of the missing cache.
 	DuplicateAvatarDownloads int
+	// HeartDeltas / HeartsSeen count coalesced heart messages received and
+	// the total hearts they carried — HeartsSeen/HeartDeltas is the
+	// server-side coalescing ratio as observed from this client.
+	HeartDeltas int
+	HeartsSeen  int
+	// PresenceUpdates counts viewer-count messages; LastMembers is the
+	// most recent reported room size.
+	PresenceUpdates int
+	LastMembers     int
+	// MeanChatLatency is the mean sender→receiver delay of chat messages,
+	// computed from SentUnixNano against this client's clock (both sides
+	// share a clock in the testbed).
+	MeanChatLatency time.Duration
 }
 
 // Client attaches to a chat room and mimics the app's traffic behaviour.
@@ -46,10 +64,12 @@ type Client struct {
 	conn *websocket.Conn
 	http *http.Client
 
-	mu    sync.Mutex
-	stats ClientStats
-	seen  map[string]bool
-	done  chan struct{}
+	mu         sync.Mutex
+	stats      ClientStats
+	latencySum time.Duration
+	latencyN   int
+	seen       map[string]bool
+	done       chan struct{}
 }
 
 // Join connects to the room and starts consuming messages.
@@ -78,13 +98,28 @@ func (c *Client) loop() {
 		if json.Unmarshal(data, &m) != nil {
 			continue
 		}
+		now := time.Now().UnixNano()
 		c.mu.Lock()
-		c.stats.MessagesReceived++
-		c.stats.WSBytes = c.conn.BytesRead.Load()
-		display := c.cfg.DisplayChat
-		if display {
-			c.stats.MessagesShown++
+		display := false
+		switch m.Kind {
+		case KindHeartDelta:
+			c.stats.HeartDeltas++
+			c.stats.HeartsSeen += m.Count
+		case KindPresence:
+			c.stats.PresenceUpdates++
+			c.stats.LastMembers = m.Members
+		case KindChat:
+			c.stats.MessagesReceived++
+			if m.SentUnixNano > 0 && now >= m.SentUnixNano {
+				c.latencySum += time.Duration(now - m.SentUnixNano)
+				c.latencyN++
+			}
+			display = c.cfg.DisplayChat
+			if display {
+				c.stats.MessagesShown++
+			}
 		}
+		c.stats.WSBytes = c.conn.BytesRead.Load()
 		c.mu.Unlock()
 		if display && m.AvatarURL != "" {
 			c.fetchAvatar(m.AvatarURL, m.User)
@@ -113,8 +148,31 @@ func (c *Client) fetchAvatar(url, user string) {
 // Send posts a chat message (ignored by the server if the room was full
 // when this client joined).
 func (c *Client) Send(text string) error {
-	m := Message{User: "measurement-client", Text: text, SentUnix: time.Now().UnixNano()}
+	m := Message{User: "measurement-client", Text: text, SentUnixNano: time.Now().UnixNano()}
 	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return c.conn.WriteMessage(websocket.OpText, data)
+}
+
+// Heart taps n hearts (n<=0 taps one): POST to HeartsURL when configured,
+// otherwise a heart message on the WebSocket. Either way the server
+// coalesces — tapping never causes per-tap fan-out.
+func (c *Client) Heart(n int) error {
+	if n <= 0 {
+		n = 1
+	}
+	if c.cfg.HeartsURL != "" {
+		resp, err := c.http.Post(c.cfg.HeartsURL+"?n="+strconv.Itoa(n), "text/plain", nil)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+	data, err := json.Marshal(Message{Kind: KindHeart, Count: n})
 	if err != nil {
 		return err
 	}
@@ -127,6 +185,9 @@ func (c *Client) Stats() ClientStats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.WSBytes = c.conn.BytesRead.Load()
+	if c.latencyN > 0 {
+		s.MeanChatLatency = c.latencySum / time.Duration(c.latencyN)
+	}
 	return s
 }
 

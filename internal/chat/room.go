@@ -1,0 +1,623 @@
+package chat
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"periscope/internal/websocket"
+)
+
+// MemberConn is the connection surface a room needs from a member: the
+// shared-frame write used by fan-out and a close for teardown/eviction.
+// *websocket.Conn implements it; benchmarks attach in-memory sinks.
+type MemberConn interface {
+	WritePrepared(*websocket.PreparedMessage) error
+	Close() error
+}
+
+// Interaction-plane tuning defaults. A zero in RoomConfig means the
+// default; a negative interval disables that control loop.
+const (
+	// DefaultFanoutShardCap caps the per-room fan-out worker count.
+	DefaultFanoutShardCap = 8
+	// DefaultSendQueueDepth bounds each member's async send queue. Chat
+	// messages are small and bursty; 64 slots absorb several seconds of a
+	// busy room before drop-oldest fires.
+	DefaultSendQueueDepth = 64
+	// DefaultHopelessDrops disconnects a member the drop-oldest policy has
+	// penalized this many times — it is not consuming at all.
+	DefaultHopelessDrops = 1024
+	// DefaultHeartInterval is the heart-delta coalescing tick: N taps
+	// arriving within one tick leave the room as one counter delta.
+	DefaultHeartInterval = 250 * time.Millisecond
+	// DefaultPresenceInterval is the viewer-count dissemination tick;
+	// join/leave churn within one tick collapses to one presence update.
+	DefaultPresenceInterval = time.Second
+	// DefaultVisibilityCap is the member count past which each member
+	// samples the chat stream instead of seeing every comment (Periscope
+	// capped comment visibility in huge rooms): a member in a room of M >
+	// cap members sees ~cap/M of the chat messages.
+	DefaultVisibilityCap = 1024
+	// shardQueueDepth bounds each fan-out shard's descriptor queue.
+	shardQueueDepth = 256
+)
+
+// defaultFanoutShards picks the per-room worker count: one per core,
+// capped — chat rooms are numerous, so each stays small.
+func defaultFanoutShards() int {
+	k := runtime.GOMAXPROCS(0)
+	if k < 1 {
+		k = 1
+	}
+	if k > DefaultFanoutShardCap {
+		k = DefaultFanoutShardCap
+	}
+	return k
+}
+
+// roomCounters are one room's cumulative interaction-plane metrics. They
+// fold into the server aggregate when the room closes, so server-level
+// totals are monotonic across room churn.
+type roomCounters struct {
+	membersJoined   atomic.Int64 // total joins (not current members)
+	messagesIn      atomic.Int64 // chat messages accepted into the room
+	messagesOut     atomic.Int64 // per-member queue enqueues
+	heartTaps       atomic.Int64 // individual heart taps received
+	heartDeltas     atomic.Int64 // coalesced delta messages broadcast
+	presenceUpdates atomic.Int64 // presence messages broadcast
+	drops           atomic.Int64 // drop-oldest evictions from member queues
+	hopeless        atomic.Int64 // members disconnected for never draining
+	sampledOut      atomic.Int64 // deliveries skipped by visibility sampling
+}
+
+func (c *roomCounters) addTo(st *Stats) {
+	st.MembersJoined += c.membersJoined.Load()
+	st.MessagesIn += c.messagesIn.Load()
+	st.MessagesOut += c.messagesOut.Load()
+	st.HeartTaps += c.heartTaps.Load()
+	st.HeartDeltas += c.heartDeltas.Load()
+	st.PresenceUpdates += c.presenceUpdates.Load()
+	st.Drops += c.drops.Load()
+	st.HopelessDisconnects += c.hopeless.Load()
+	st.SampledOut += c.sampledOut.Load()
+}
+
+// member is one attached client: messages are enqueued on a bounded
+// channel and written by a dedicated goroutine, so one slow WebSocket
+// never head-of-line-blocks its room.
+type member struct {
+	conn  MemberConn
+	shard *chatShard
+	ch    chan *websocket.PreparedMessage
+	quit  chan struct{}
+	once  sync.Once
+	// salt drives per-member visibility sampling in huge rooms.
+	salt uint32
+	// canSend is false for members who joined a full chat.
+	canSend bool
+	// dropped counts drop-oldest penalties; owned by the shard's delivery
+	// path (guarded by shard.mu).
+	dropped int
+}
+
+// enqueue offers a message without ever blocking; when the queue is full
+// the oldest entry is dropped to make room. Reports whether anything was
+// dropped. Chat frames are GC-managed, so dropped slots need no release.
+func (m *member) enqueue(pm *websocket.PreparedMessage) bool {
+	select {
+	case m.ch <- pm:
+		return false
+	default:
+	}
+	select {
+	case <-m.ch:
+	default:
+	}
+	select {
+	case m.ch <- pm:
+	default:
+	}
+	return true
+}
+
+// stop wakes the sender goroutine for shutdown; idempotent.
+func (m *member) stop() {
+	m.once.Do(func() { close(m.quit) })
+}
+
+// run drains the queue onto the member's connection. A write error closes
+// the connection; the server's read loop then leaves the room.
+func (m *member) run() {
+	for {
+		select {
+		case <-m.quit:
+			return
+		case pm := <-m.ch:
+			if m.conn.WritePrepared(pm) != nil {
+				m.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// roomMsg is the per-shard fan-out descriptor: the broadcaster marshals
+// and frames the message once and publishes one of these to every shard.
+type roomMsg struct {
+	pm *websocket.PreparedMessage
+	// seq is the room-wide message sequence, mixed with each member's salt
+	// for visibility sampling.
+	seq uint64
+	// thresh is the 16-bit visibility threshold: a member sees the message
+	// iff sampleKey(seq, salt)&0xffff < thresh. sampleAll delivers to
+	// everyone (control messages, small rooms).
+	thresh uint32
+}
+
+const sampleAll = 1 << 16
+
+// sampleKey mixes the message sequence with a member's salt into a
+// uniform 32-bit key (splitmix-style finalizer).
+func sampleKey(seq uint64, salt uint32) uint32 {
+	x := seq*0x9E3779B97F4A7C15 + uint64(salt)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 29
+	return uint32(x)
+}
+
+// chatShard owns a disjoint subset of a room's members; a dedicated
+// worker delivers descriptors from ch, so K shards spread per-member
+// enqueue work across K cores.
+type chatShard struct {
+	r    *Room
+	ch   chan roomMsg
+	quit chan struct{}
+	// nmembers mirrors len(members) so the broadcaster skips empty shards
+	// without taking mu.
+	nmembers atomic.Int32
+
+	mu      sync.Mutex
+	members []*member
+	stopped bool
+}
+
+// attach registers m; reports false when the shard has stopped.
+func (sh *chatShard) attach(m *member) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopped {
+		return false
+	}
+	sh.members = append(sh.members, m)
+	sh.nmembers.Store(int32(len(sh.members)))
+	return true
+}
+
+// remove detaches m, reporting whether it was still attached — the shard
+// list is the single arbiter between a Leave and a concurrent hopeless
+// eviction, so gauges decrement exactly once.
+func (sh *chatShard) remove(m *member) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, w := range sh.members {
+		if w == m {
+			last := len(sh.members) - 1
+			sh.members[i] = sh.members[last]
+			sh.members[last] = nil
+			sh.members = sh.members[:last]
+			sh.nmembers.Store(int32(len(sh.members)))
+			return true
+		}
+	}
+	return false
+}
+
+// publish hands one descriptor to the shard worker, blocking only on
+// worker backpressure (bounded queue), never on any member socket.
+func (sh *chatShard) publish(m roomMsg) {
+	select {
+	case sh.ch <- m:
+	case <-sh.quit:
+	}
+}
+
+// run is the shard worker loop.
+func (sh *chatShard) run() {
+	for {
+		select {
+		case <-sh.quit:
+			return
+		case m := <-sh.ch:
+			sh.deliver(m)
+		}
+	}
+}
+
+// deliver fans one message out to this shard's members: visibility
+// sampling, drop-oldest enqueue, hopeless eviction.
+func (sh *chatShard) deliver(m roomMsg) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; i < len(sh.members); i++ {
+		v := sh.members[i]
+		if m.thresh < sampleAll && sampleKey(m.seq, v.salt)&0xffff >= m.thresh {
+			sh.r.counters.sampledOut.Add(1)
+			continue
+		}
+		sh.r.counters.messagesOut.Add(1)
+		if v.enqueue(m.pm) {
+			v.dropped++
+			sh.r.counters.drops.Add(1)
+			if v.dropped >= sh.r.cfg.HopelessDrops {
+				// Hopeless consumer: evict exactly once — remove from the
+				// shard so no later message can re-evict, then close.
+				last := len(sh.members) - 1
+				sh.members[i] = sh.members[last]
+				sh.members[last] = nil
+				sh.members = sh.members[:last]
+				sh.nmembers.Store(int32(len(sh.members)))
+				i--
+				v.conn.Close()
+				v.stop()
+				sh.r.forget(v.conn)
+				sh.r.nmembers.Add(-1)
+				sh.r.presenceDirty.Store(true)
+				sh.r.counters.hopeless.Add(1)
+			}
+		}
+	}
+}
+
+// queueDepth sums the members' queued messages (snapshot gauge).
+func (sh *chatShard) queueDepth() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := 0
+	for _, m := range sh.members {
+		n += len(m.ch)
+	}
+	return n
+}
+
+// stopShard detaches, stops, and disconnects every member, then stops the
+// worker.
+func (sh *chatShard) stopShard() {
+	sh.mu.Lock()
+	sh.stopped = true
+	members := sh.members
+	sh.members = nil
+	sh.nmembers.Store(0)
+	sh.mu.Unlock()
+	close(sh.quit)
+	for _, m := range members {
+		m.stop()
+		m.conn.Close()
+	}
+}
+
+// Room is one broadcast's interaction plane: sharded chat fan-out with
+// bounded per-member queues, server-side heart aggregation, and jittered
+// presence dissemination. Simulated chatters generate traffic; real
+// clients join over WebSocket.
+type Room struct {
+	ID  string
+	cfg RoomConfig
+
+	shards []*chatShard
+	seq    atomic.Uint64
+	// nmembers is the current-member gauge (distinct from counters.
+	// membersJoined, the cumulative join count).
+	nmembers atomic.Int32
+	// pendingHearts accumulates taps between delta ticks — the tap path is
+	// one atomic add, never a fan-out.
+	pendingHearts atomic.Int64
+	presenceDirty atomic.Bool
+	// ending marks a room whose broadcast has ended but whose close is
+	// deferred past the CDN linger; a relaunch during the linger clears it,
+	// cancelling the stale deferred close.
+	ending   atomic.Bool
+	counters roomCounters
+
+	mu      sync.Mutex
+	byConn  map[MemberConn]*member
+	joined  int
+	next    int // round-robin attach cursor
+	stopped bool
+	stopCh  chan struct{}
+	saltRng *rand.Rand
+}
+
+// NewRoom creates a room, starts its fan-out workers and control loop,
+// and starts the simulated chatter loop if the config has any chatters.
+func NewRoom(id string, cfg RoomConfig) *Room {
+	if cfg.FanoutShards <= 0 {
+		cfg.FanoutShards = defaultFanoutShards()
+	}
+	if cfg.SendQueueDepth <= 0 {
+		cfg.SendQueueDepth = DefaultSendQueueDepth
+	}
+	if cfg.HopelessDrops <= 0 {
+		cfg.HopelessDrops = DefaultHopelessDrops
+	}
+	if cfg.HeartInterval == 0 {
+		cfg.HeartInterval = DefaultHeartInterval
+	}
+	if cfg.PresenceInterval == 0 {
+		cfg.PresenceInterval = DefaultPresenceInterval
+	}
+	if cfg.VisibilityCap == 0 {
+		cfg.VisibilityCap = DefaultVisibilityCap
+	}
+	if cfg.JoinCap == 0 {
+		cfg.JoinCap = DefaultJoinCap
+	}
+	r := &Room{
+		ID:      id,
+		cfg:     cfg,
+		byConn:  map[MemberConn]*member{},
+		stopCh:  make(chan struct{}),
+		saltRng: rand.New(rand.NewSource(cfg.Seed ^ 0x6a09e667)),
+	}
+	for i := 0; i < cfg.FanoutShards; i++ {
+		sh := &chatShard{r: r, ch: make(chan roomMsg, shardQueueDepth), quit: make(chan struct{})}
+		r.shards = append(r.shards, sh)
+		go sh.run()
+	}
+	if cfg.HeartInterval > 0 || cfg.PresenceInterval > 0 {
+		go r.controlLoop()
+	}
+	if cfg.Chatters > 0 && cfg.MsgPerChatterSec > 0 {
+		go r.generate()
+	}
+	return r
+}
+
+// generate emits simulated chat messages at the aggregate room rate.
+func (r *Room) generate() {
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	rate := float64(r.cfg.Chatters) * r.cfg.MsgPerChatterSec
+	if rate <= 0 {
+		return
+	}
+	for {
+		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if wait > 5*time.Second {
+			wait = 5 * time.Second
+		}
+		select {
+		case <-r.stopCh:
+			return
+		case <-time.After(wait):
+		}
+		user := fmt.Sprintf("user%04d", rng.Intn(r.cfg.Chatters))
+		m := Message{
+			User:         user,
+			Text:         syntheticText(rng),
+			SentUnixNano: time.Now().UnixNano(),
+		}
+		if rng.Float64() < r.cfg.AvatarFrac {
+			m.AvatarURL = "/avatars/" + user + ".jpg"
+		}
+		r.Broadcast(m)
+	}
+}
+
+// controlLoop runs the room's periodic dissemination: heart counter
+// deltas and presence updates, each on its own jittered tick so rooms
+// (and their clients' radios) do not beat in phase.
+func (r *Room) controlLoop() {
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ 0x5eaf00d))
+	jitter := func(d time.Duration) time.Duration {
+		// ±20% uniform jitter around the base interval.
+		return d + time.Duration((rng.Float64()-0.5)*0.4*float64(d))
+	}
+	var heartC, presC <-chan time.Time
+	var heartT, presT *time.Timer
+	if r.cfg.HeartInterval > 0 {
+		heartT = time.NewTimer(jitter(r.cfg.HeartInterval))
+		defer heartT.Stop()
+		heartC = heartT.C
+	}
+	if r.cfg.PresenceInterval > 0 {
+		presT = time.NewTimer(jitter(r.cfg.PresenceInterval))
+		defer presT.Stop()
+		presC = presT.C
+	}
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-heartC:
+			r.flushHearts()
+			heartT.Reset(jitter(r.cfg.HeartInterval))
+		case <-presC:
+			if r.presenceDirty.Swap(false) {
+				r.counters.presenceUpdates.Add(1)
+				r.publish(Message{
+					Kind:         KindPresence,
+					Members:      r.Members(),
+					Joined:       r.Joined(),
+					SentUnixNano: time.Now().UnixNano(),
+				}, false)
+			}
+			presT.Reset(jitter(r.cfg.PresenceInterval))
+		}
+	}
+}
+
+// flushHearts broadcasts one coalesced delta for the taps accumulated
+// since the last tick — fan-out cost is O(ticks), not O(taps).
+func (r *Room) flushHearts() {
+	n := r.pendingHearts.Swap(0)
+	if n <= 0 {
+		return
+	}
+	r.counters.heartDeltas.Add(1)
+	r.publish(Message{Kind: KindHeartDelta, Count: int(n), SentUnixNano: time.Now().UnixNano()}, false)
+}
+
+// Heart records n heart taps (n<=0 counts as one). Taps are aggregated
+// server-side and leave the room as periodic counter deltas.
+func (r *Room) Heart(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	r.counters.heartTaps.Add(int64(n))
+	r.pendingHearts.Add(int64(n))
+}
+
+// Broadcast sends a chat message to the room's members (subject to
+// visibility sampling in huge rooms). Control kinds pass through
+// unsampled.
+func (r *Room) Broadcast(m Message) {
+	chatKind := m.Kind == "" || m.Kind == KindChat
+	if chatKind {
+		r.counters.messagesIn.Add(1)
+	}
+	r.publish(m, chatKind)
+}
+
+// publish marshals and frames the message once, then hands one descriptor
+// to each non-empty shard. The broadcaster's cost is O(shards), not
+// O(members).
+func (r *Room) publish(m Message, sampled bool) {
+	if r.nmembers.Load() == 0 {
+		return
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	msg := roomMsg{
+		pm:     websocket.PrepareMessage(websocket.OpText, data),
+		seq:    r.seq.Add(1),
+		thresh: sampleAll,
+	}
+	if sampled {
+		if n, cap := int(r.nmembers.Load()), r.cfg.VisibilityCap; cap > 0 && n > cap {
+			msg.thresh = uint32((uint64(cap) << 16) / uint64(n))
+			if msg.thresh == 0 {
+				msg.thresh = 1
+			}
+		}
+	}
+	for _, sh := range r.shards {
+		if sh.nmembers.Load() == 0 {
+			continue
+		}
+		sh.publish(msg)
+	}
+}
+
+// Join attaches a connection to the room. canSend is false once the room
+// is full — late joiners only listen (they may still heart). ok is false
+// when the room has closed; the caller owns closing the connection then.
+func (r *Room) Join(c MemberConn) (canSend, ok bool) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return false, false
+	}
+	r.joined++
+	canSend = r.joined <= r.cfg.JoinCap
+	m := &member{
+		conn:    c,
+		ch:      make(chan *websocket.PreparedMessage, r.cfg.SendQueueDepth),
+		quit:    make(chan struct{}),
+		salt:    r.saltRng.Uint32(),
+		canSend: canSend,
+	}
+	sh := r.shards[r.next%len(r.shards)]
+	r.next++
+	m.shard = sh
+	r.byConn[c] = m
+	r.mu.Unlock()
+	if !sh.attach(m) {
+		// The shard stopped between the checks; undo the registration.
+		r.forget(c)
+		return false, false
+	}
+	r.nmembers.Add(1)
+	r.counters.membersJoined.Add(1)
+	r.presenceDirty.Store(true)
+	go m.run()
+	return canSend, true
+}
+
+// Leave detaches a connection. It is a no-op when the delivery path
+// already evicted the member as hopeless.
+func (r *Room) Leave(c MemberConn) {
+	r.mu.Lock()
+	m := r.byConn[c]
+	delete(r.byConn, c)
+	r.mu.Unlock()
+	if m == nil {
+		return
+	}
+	if m.shard.remove(m) {
+		r.nmembers.Add(-1)
+		r.presenceDirty.Store(true)
+	}
+	m.stop()
+}
+
+// forget drops the conn→member registration without touching the shard
+// (used by the delivery path, which edits its own member list).
+func (r *Room) forget(c MemberConn) {
+	r.mu.Lock()
+	delete(r.byConn, c)
+	r.mu.Unlock()
+}
+
+// Members reports the current number of attached clients.
+func (r *Room) Members() int {
+	return int(r.nmembers.Load())
+}
+
+// Joined reports the cumulative join count (the chat-full cap compares
+// against this, not current membership).
+func (r *Room) Joined() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.joined
+}
+
+// sendQueueDepth sums queued messages across all members (gauge).
+func (r *Room) sendQueueDepth() int {
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.queueDepth()
+	}
+	return n
+}
+
+// addTo folds the room's counters (and gauges) into st.
+func (r *Room) addTo(st *Stats) {
+	r.counters.addTo(st)
+	st.Members += r.Members()
+	st.SendQueueDepth += r.sendQueueDepth()
+}
+
+// Close stops the chatter and control loops, then stops and disconnects
+// every member. Idempotent.
+func (r *Room) Close() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	close(r.stopCh)
+	r.byConn = map[MemberConn]*member{}
+	r.mu.Unlock()
+	for _, sh := range r.shards {
+		sh.stopShard()
+	}
+	r.nmembers.Store(0)
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"periscope/internal/api"
+	"periscope/internal/chat"
+)
+
+// TestEndBroadcastClosesChatRoom is the chat-room leak regression: ending
+// a broadcast must close its room (no linger here) and fold the room's
+// counters into the chat server aggregate, monotonically.
+func TestEndBroadcastClosesChatRoom(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopConfig.TargetConcurrent = 120
+	cfg.SegmentTarget = 800 * time.Millisecond
+	cfg.CDNUnregisterLinger = 0
+	svc, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cli := api.NewClient(svc.APIBaseURL(), "s1", nil)
+	b := pickBroadcast(t, svc, true)
+	if _, err := cli.AccessVideo(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	room := svc.Chat.Lookup(b.ID)
+	if room == nil {
+		t.Fatal("no chat room after AccessVideo")
+	}
+	room.Heart(9)
+	room.Broadcast(chat.Message{User: "u", Text: "pre-end"})
+	before := svc.Snapshot().Chat
+	if before.Rooms == 0 || before.RoomsOpened == 0 {
+		t.Fatalf("chat snapshot shows no rooms before end: %+v", before)
+	}
+
+	svc.EndBroadcast(b.ID)
+
+	if svc.Chat.Lookup(b.ID) != nil {
+		t.Error("chat room still registered after EndBroadcast with no linger")
+	}
+	after := svc.Snapshot().Chat
+	if after.RoomsClosed != before.RoomsClosed+1 {
+		t.Errorf("RoomsClosed = %d, want %d", after.RoomsClosed, before.RoomsClosed+1)
+	}
+	if after.HeartTaps < 9 {
+		t.Errorf("room's heart taps lost in the fold: HeartTaps = %d", after.HeartTaps)
+	}
+	if after.MessagesIn < before.MessagesIn || after.MembersJoined < before.MembersJoined ||
+		after.HeartTaps < before.HeartTaps {
+		t.Errorf("chat counters dipped across room close:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+// TestEndBroadcastChatRoomHonorsLinger: with a CDN linger configured, the
+// room stays open through the drain window (viewers can keep chatting)
+// and closes when the linger fires — unless the broadcast relaunched, in
+// which case the fresh room survives the stale deferred close.
+func TestEndBroadcastChatRoomHonorsLinger(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopConfig.TargetConcurrent = 120
+	cfg.SegmentTarget = 800 * time.Millisecond
+	cfg.CDNUnregisterLinger = 200 * time.Millisecond
+	svc, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cli := api.NewClient(svc.APIBaseURL(), "s1", nil)
+	b := pickBroadcast(t, svc, true)
+	if _, err := cli.AccessVideo(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	oldRoom := svc.Chat.Lookup(b.ID)
+	if oldRoom == nil {
+		t.Fatal("no chat room after AccessVideo")
+	}
+	svc.EndBroadcast(b.ID)
+	if svc.Chat.Lookup(b.ID) != oldRoom {
+		t.Fatal("chat room closed before the linger elapsed")
+	}
+
+	// The broadcast is still live in the population: the next access
+	// relaunches it, reclaiming the still-open room and cancelling the
+	// pending deferred close.
+	if _, err := cli.AccessVideo(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if got := svc.Chat.Lookup(b.ID); got != oldRoom {
+		t.Fatalf("stale linger close tore down the relaunched broadcast's room (got %p, want %p)", got, oldRoom)
+	}
+
+	// End it again with no relaunch: after the linger the room must close.
+	svc.EndBroadcast(b.ID)
+	waitFor(t, func() bool { return svc.Chat.Lookup(b.ID) == nil }, "chat room close after linger")
+}

@@ -874,7 +874,9 @@ func (h *hub) Segmenter() *hls.Segmenter {
 }
 
 // stop tears the pipeline down: publisher, shards (stopping and draining
-// every viewer), HLS feed, segmenter, chat room.
+// every viewer), HLS feed, segmenter. The chat room is NOT closed here —
+// Service.EndBroadcast closes it after the CDN linger, so members can
+// keep chatting while HLS viewers drain the final window.
 func (h *hub) stop() {
 	h.mu.Lock()
 	if h.stopped {
@@ -892,8 +894,5 @@ func (h *hub) stop() {
 	}
 	if seg := h.seg.Load(); seg != nil {
 		seg.Finish(time.Now())
-	}
-	if h.svc != nil {
-		h.svc.Chat.CloseRoom(h.b.ID)
 	}
 }

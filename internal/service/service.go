@@ -389,6 +389,11 @@ func (s *Service) Close() {
 	if s.chatHTTP != nil {
 		s.chatHTTP.Close()
 	}
+	// Linger timers are already stopped, so no deferred room close will
+	// fire: close every room (and fold its counters) here.
+	if s.Chat != nil {
+		s.Chat.Close()
+	}
 }
 
 // EndBroadcast ends a live broadcast's pipeline: the hub stops (finishing
@@ -396,8 +401,10 @@ func (s *Service) Close() {
 // #EXT-X-ENDLIST), its fan-out counters fold into the service aggregate,
 // and — after CDNUnregisterLinger, so current viewers can fetch the final
 // playlist and drain the last window — the broadcast is unregistered from
-// the origin tier and every POP. Without this, ended broadcasts would pin
-// their segmenters in the CDN maps forever.
+// the origin tier and every POP, and its chat room closes (folding its
+// interaction counters into the chat server aggregate). Without this,
+// ended broadcasts would pin their segmenters in the CDN maps — and their
+// chat rooms in the chat server — forever.
 func (s *Service) EndBroadcast(id string) {
 	s.mu.Lock()
 	h := s.hubs[id]
@@ -421,9 +428,18 @@ func (s *Service) EndBroadcast(id string) {
 	s.endedDelivery.add(&h.stats)
 	delete(s.ending, h)
 	s.mu.Unlock()
+	// Chat-room teardown rides the same linger as CDN unregistration, so
+	// viewers draining the final window can keep chatting. BeginClose marks
+	// the room ending; a relaunch during the linger (AccessVideo reusing
+	// the room) clears the mark and the stale deferred close backs off.
+	room := s.Chat.BeginClose(id)
+	closeChat := func() { s.Chat.CloseRoomIf(id, room) }
 	seg := h.Segmenter()
 	if seg == nil {
-		return // HLS never enabled: nothing registered at the CDN
+		// HLS never enabled: nothing registered at the CDN, no viewers to
+		// drain — the room can close now.
+		closeChat()
+		return
 	}
 	// Unregistration is conditional on the ended segmenter: if the
 	// broadcast re-goes live during the linger, its re-registration
@@ -433,6 +449,7 @@ func (s *Service) EndBroadcast(id string) {
 		for _, pop := range s.cdn {
 			pop.unregister(id, seg)
 		}
+		closeChat()
 	}
 	linger := s.cfg.CDNUnregisterLinger
 	if linger <= 0 {

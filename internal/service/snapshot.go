@@ -3,6 +3,8 @@ package service
 import (
 	"sync/atomic"
 	"time"
+
+	"periscope/internal/chat"
 )
 
 // deliveryCounters are the shard-level fan-out metrics of one hub: how
@@ -112,11 +114,13 @@ type POPSnapshot struct {
 }
 
 // Snapshot is a point-in-time view of the service's delivery plane: the
-// RTMP fan-out metrics (PR 3) next to the CDN origin/edge fill metrics.
+// RTMP fan-out metrics (PR 3) next to the CDN origin/edge fill metrics
+// and the interaction plane (chat/hearts/presence, PR 7).
 type Snapshot struct {
 	Delivery DeliverySnapshot
 	Origin   OriginSnapshot
 	POPs     []POPSnapshot
+	Chat     chat.Stats
 }
 
 // Snapshot collects the service's delivery-plane metrics.
@@ -158,6 +162,9 @@ func (s *Service) Snapshot() Snapshot {
 	}
 	for _, pop := range s.cdn {
 		snap.POPs = append(snap.POPs, pop.stats())
+	}
+	if s.Chat != nil {
+		snap.Chat = s.Chat.Snapshot()
 	}
 	return snap
 }

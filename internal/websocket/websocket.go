@@ -144,6 +144,58 @@ func Dial(rawURL string, dial func(network, addr string) (net.Conn, error)) (*Co
 	return &Conn{nc: nc, br: br, client: true}, nil
 }
 
+// PreparedMessage is a message framed once for delivery to many
+// connections: fan-out paths (chat rooms) marshal and frame a broadcast a
+// single time and hand every member the same immutable buffer, instead of
+// re-encoding the frame header per member. Server connections write the
+// prepared frame directly (one syscall, zero allocations); client
+// connections fall back to a masked per-connection write, as RFC 6455
+// masking is per-frame random.
+type PreparedMessage struct {
+	opcode  int
+	payload []byte
+	frame   []byte // unmasked server-side frame: header + payload
+}
+
+// PrepareMessage frames payload once for repeated unmasked writes. The
+// payload is retained (not copied) — callers must not mutate it afterwards.
+func PrepareMessage(opcode int, payload []byte) *PreparedMessage {
+	hdr := make([]byte, 0, 10)
+	hdr = append(hdr, 0x80|byte(opcode))
+	switch {
+	case len(payload) < 126:
+		hdr = append(hdr, byte(len(payload)))
+	case len(payload) <= 0xFFFF:
+		hdr = append(hdr, 126)
+		hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(payload)))
+	default:
+		hdr = append(hdr, 127)
+		hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(payload)))
+	}
+	frame := make([]byte, 0, len(hdr)+len(payload))
+	frame = append(frame, hdr...)
+	frame = append(frame, payload...)
+	return &PreparedMessage{opcode: opcode, payload: payload, frame: frame}
+}
+
+// Payload returns the prepared message's payload. Shared — callers must
+// not mutate it.
+func (pm *PreparedMessage) Payload() []byte { return pm.payload }
+
+// WritePrepared sends a prepared message. On server connections this is a
+// single write of the shared pre-framed buffer.
+func (c *Conn) WritePrepared(pm *PreparedMessage) error {
+	if c.client {
+		return c.WriteMessage(pm.opcode, pm.payload)
+	}
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	n, err := c.nc.Write(pm.frame)
+	c.BytesWritten.Add(int64(n))
+	return err
+}
+
 // WriteMessage sends one unfragmented message with the given opcode.
 func (c *Conn) WriteMessage(opcode int, payload []byte) error {
 	if c.closed.Load() {
