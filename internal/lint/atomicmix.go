@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// AtomicMixAnalyzer reports struct fields that are accessed both through
+// sync/atomic functions and plainly in the same package.
+//
+// Mixed access is exactly the PR 3 websocket bug class: a field like
+// BytesWritten updated with atomic.AddInt64 on the write path but read
+// plainly by a stats snapshot races — the race detector only catches it
+// when the snapshot and the writer actually collide in a test run.
+// A field is either always atomic (better: declare it atomic.Int64 and
+// make plain access unrepresentable) or always guarded; never both.
+var AtomicMixAnalyzer = &analysis.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "report struct fields accessed both via sync/atomic and plainly in the same package",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: fields passed by address to a sync/atomic function.
+	atomicFields := map[*types.Var]token.Pos{} // field -> first atomic site
+	atomicUses := map[ast.Expr]bool{}          // the &field operands themselves
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if v := fieldVar(pass, un.X); v != nil {
+				if _, seen := atomicFields[v]; !seen {
+					atomicFields[v] = call.Pos()
+				}
+				atomicUses[un.X] = true
+			}
+		}
+	})
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every other mention of those fields is a plain access.
+	insp.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if atomicUses[sel] {
+			return
+		}
+		v := fieldVar(pass, sel)
+		if v == nil {
+			return
+		}
+		site, ok := atomicFields[v]
+		if !ok {
+			return
+		}
+		sup.report(pass, sel.Pos(), "plain access to field %s, which is accessed atomically at %s: mixed atomic/plain access races; use sync/atomic everywhere or an atomic.%s field",
+			v.Name(), pass.Fset.Position(site), atomicTypeFor(v.Type()))
+	})
+	return nil, nil
+}
+
+// fieldVar resolves expr to a struct field variable, or nil.
+func fieldVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// atomicTypeFor suggests the sync/atomic wrapper type for a field type.
+func atomicTypeFor(t types.Type) string {
+	switch t.String() {
+	case "int32":
+		return "Int32"
+	case "int64":
+		return "Int64"
+	case "uint32":
+		return "Uint32"
+	case "uint64":
+		return "Uint64"
+	case "bool":
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"periscope/internal/lint"
+	"periscope/internal/lint/linttest"
+)
+
+// Each analyzer must fire on its golden bad fixture (the historical bug
+// class, one want comment per diagnostic) and stay quiet on the clean
+// fixture exercising the idiomatic pattern. Both files live in the same
+// fixture package, so a single Run covers red and green together.
+
+func TestRefPair(t *testing.T) {
+	linttest.Run(t, lint.RefPairAnalyzer, "refpair")
+}
+
+func TestLockIO(t *testing.T) {
+	linttest.Run(t, lint.LockIOAnalyzer, "lockio")
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, lint.AtomicMixAnalyzer, "atomicmix")
+}
+
+func TestCtxDetach(t *testing.T) {
+	linttest.Run(t, lint.CtxDetachAnalyzer, "ctxdetach")
+}
+
+// TestSuppressionRequiresReason: an //lint:ignore with no reason does
+// not suppress, and is reported in its own right. (Not expressible as a
+// want comment: the marker would parse as the reason.)
+func TestSuppressionRequiresReason(t *testing.T) {
+	got := linttest.Diagnostics(t, lint.LockIOAnalyzer, "suppress")
+	if len(got) != 2 {
+		t.Fatalf("want 2 diagnostics (reasonless suppression + unsuppressed sleep), got %d: %q", len(got), got)
+	}
+	if !strings.Contains(got[0], "suppression of periscopelint/lockio without a reason") {
+		t.Errorf("missing reasonless-suppression diagnostic: %q", got[0])
+	}
+	if !strings.Contains(got[1], "time.Sleep while mu is held") {
+		t.Errorf("sleep was suppressed by a reasonless //lint:ignore: %q", got[1])
+	}
+}
+
+// TestSuiteComplete pins the suite composition CI runs.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"refpair", "lockio", "atomicmix", "ctxdetach"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() = %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

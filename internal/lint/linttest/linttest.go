@@ -1,0 +1,361 @@
+// Package linttest is a minimal analysistest replacement for the
+// periscopelint suite.
+//
+// The canonical golang.org/x/tools/go/analysis/analysistest depends on
+// go/packages, which is not part of the toolchain-vendored subset of
+// x/tools this repo builds against. This harness reimplements the part
+// the lint tests need: load a GOPATH-style fixture package from
+// testdata/src/<path>, run an analyzer (and its Requires graph) over
+// it, and compare the diagnostics against // want "regexp" comments.
+//
+// Fixture imports resolve against testdata/src first (so fixtures can
+// import stub packages like testdata/src/rtmp), then fall back to the
+// compiler's source importer for the standard library.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<pkgpath> (relative to the calling test's
+// package directory) and checks a's diagnostics against the fixture's
+// // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld, pkg, diags := analyze(t, a, pkgpath)
+	_ = ld
+	checkWants(t, a, ld.fset, pkg.files, diags)
+}
+
+// Diagnostics loads the fixture and returns the analyzer's diagnostics
+// as "basename:line: message" strings, for expectations that cannot be
+// written as // want comments (e.g. diagnostics about the suppression
+// comments themselves).
+func Diagnostics(t *testing.T, a *analysis.Analyzer, pkgpath string) []string {
+	t.Helper()
+	ld, _, diags := analyze(t, a, pkgpath)
+	var out []string
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sharedLoaders caches fixture loaders per root so the (expensive)
+// source-importing of the standard library runs once per test binary.
+var (
+	loaderMu      sync.Mutex
+	sharedLoaders = map[string]*loader{}
+)
+
+func analyze(t *testing.T, a *analysis.Analyzer, pkgpath string) (*loader, *loadedPackage, []analysis.Diagnostic) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "testdata", "src")
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	ld := sharedLoaders[root]
+	if ld == nil {
+		ld = newLoader(root)
+		sharedLoaders[root] = ld
+	}
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := runAnalyzer(a, ld, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	return ld, pkg, diags
+}
+
+// loadedPackage bundles one type-checked fixture package.
+type loadedPackage struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture imports from a testdata/src root, falling
+// back to the source importer for the standard library.
+type loader struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.Importer
+	loaded   map[string]*loadedPackage
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:     root,
+		fset:     fset,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		loaded:   map[string]*loadedPackage{},
+	}
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, path); dirExists(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPackage, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPackage{pkg: pkg, files: files, info: info}
+	l.loaded[path] = p
+	return p, nil
+}
+
+// runAnalyzer executes a and its Requires closure in dependency order
+// and returns a's diagnostics.
+func runAnalyzer(a *analysis.Analyzer, ld *loader, pkg *loadedPackage) ([]analysis.Diagnostic, error) {
+	results := map[*analysis.Analyzer]any{}
+	var diags []analysis.Diagnostic
+	objFacts := map[objFactKey]analysis.Fact{}
+	pkgFacts := map[pkgFactKey]analysis.Fact{}
+
+	var run func(an *analysis.Analyzer) error
+	running := map[*analysis.Analyzer]bool{}
+	run = func(an *analysis.Analyzer) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		if running[an] {
+			return fmt.Errorf("analyzer dependency cycle at %s", an.Name)
+		}
+		running[an] = true
+		for _, req := range an.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		resultOf := map[*analysis.Analyzer]any{}
+		for _, req := range an.Requires {
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       ld.fset,
+			Files:      pkg.files,
+			Pkg:        pkg.pkg,
+			TypesInfo:  pkg.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				if an == a {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				f, ok := objFacts[objFactKey{obj, factType(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				}
+				return ok
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				objFacts[objFactKey{obj, factType(fact)}] = fact
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				f, ok := pkgFacts[pkgFactKey{p, factType(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				}
+				return ok
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				pkgFacts[pkgFactKey{pkg.pkg, factType(fact)}] = fact
+			},
+			AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+			AllPackageFacts: func() []analysis.PackageFact { return nil },
+			ReadFile:        os.ReadFile,
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := run(a); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+func factType(f analysis.Fact) reflect.Type { return reflect.TypeOf(f) }
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+// checkWants compares diagnostics to // want "regexp" comments, using
+// the same per-line convention as analysistest.
+func checkWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitWantPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, a.Name, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitWantPatterns parses the quoted/backquoted regexps after // want.
+func splitWantPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

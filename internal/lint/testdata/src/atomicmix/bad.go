@@ -1,0 +1,34 @@
+// Bad fixtures for periscopelint/atomicmix, modeled on the PR 3
+// websocket races: BytesRead/BytesWritten updated atomically by the I/O
+// loops but read plainly by stats snapshots, and a closed flag stored
+// atomically but tested plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type conn struct {
+	bytesWritten int64
+	closed       int32
+}
+
+func (c *conn) add(n int64) {
+	atomic.AddInt64(&c.bytesWritten, n)
+}
+
+// snapshot reads the counter without the atomic: racy, and the race
+// detector only sees it when a test actually collides.
+func (c *conn) snapshot() int64 {
+	return c.bytesWritten // want `plain access to field bytesWritten`
+}
+
+func (c *conn) markClosed() {
+	atomic.StoreInt32(&c.closed, 1)
+}
+
+func (c *conn) reopen() {
+	c.closed = 0 // want `plain access to field closed`
+}
+
+func (c *conn) isClosed() bool {
+	return c.closed == 1 // want `plain access to field closed`
+}

@@ -1,0 +1,37 @@
+// Clean fixtures for periscopelint/atomicmix.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// consistent uses sync/atomic for every access of its counter.
+type consistent struct {
+	n int64
+}
+
+func (c *consistent) inc()       { atomic.AddInt64(&c.n, 1) }
+func (c *consistent) get() int64 { return atomic.LoadInt64(&c.n) }
+
+// typed uses the atomic wrapper types, which make plain access
+// unrepresentable — the conversion the diagnostic recommends.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) inc()       { t.n.Add(1) }
+func (t *typed) get() int64 { return t.n.Load() }
+
+// guarded fields never touch sync/atomic at all; plain access under the
+// mutex is fine and none of this is the analyzer's business.
+type guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (g *guarded) inc() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+// Bad fixtures for periscopelint/ctxdetach, modeled on the PR 4
+// initiator-disconnect bug: the coalesced demand fill ran on the first
+// requester's context, so that viewer hanging up failed the fill for
+// every other waiter parked on the same single-flight entry.
+package ctxdetach
+
+import (
+	"context"
+	"time"
+)
+
+type fillResult struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+type source interface {
+	FetchSegment(ctx context.Context, seq int) ([]byte, error)
+}
+
+type replica struct {
+	src source
+}
+
+// SegmentBad threads the inbound request context straight into the
+// shared fill goroutine.
+func (r *replica) SegmentBad(ctx context.Context, seq int) ([]byte, error) {
+	f := &fillResult{done: make(chan struct{})}
+	go func() { // want `captures the request-scoped context "ctx"`
+		f.data, f.err = r.src.FetchSegment(ctx, seq)
+		close(f.done)
+	}()
+	select {
+	case <-f.done:
+		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SegmentDerivedBad is no better: the timeout context still inherits
+// the request's cancellation.
+func (r *replica) SegmentDerivedBad(ctx context.Context, seq int) ([]byte, error) {
+	fctx, cancel := context.WithTimeout(ctx, time.Second)
+	f := &fillResult{done: make(chan struct{})}
+	go func() { // want `captures the request-scoped context "fctx"`
+		defer cancel()
+		f.data, f.err = r.src.FetchSegment(fctx, seq)
+		close(f.done)
+	}()
+	select {
+	case <-f.done:
+		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

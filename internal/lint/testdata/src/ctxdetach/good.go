@@ -1,0 +1,50 @@
+// Clean fixtures for periscopelint/ctxdetach: the detached-fill idiom
+// the PR 4 fix introduced, and a per-request worker pattern that
+// legitimately shares the caller's context.
+package ctxdetach
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SegmentGood detaches the fill: waiters select on the request context,
+// but the fetch itself runs on a Background-derived timeout and
+// survives any one requester disconnecting.
+func (r *replica) SegmentGood(ctx context.Context, seq int) ([]byte, error) {
+	f := &fillResult{done: make(chan struct{})}
+	go func() {
+		fctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		f.data, f.err = r.src.FetchSegment(fctx, seq)
+		close(f.done)
+	}()
+	select {
+	case <-f.done:
+		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// PlayerGood is a viewer fetching its own segments: the goroutines are
+// the caller's own work, joined unconditionally with wg.Wait, so they
+// cancel with the caller — no coalesced waiters are harmed.
+func (r *replica) PlayerGood(ctx context.Context, seqs []int) error {
+	var wg sync.WaitGroup
+	for _, s := range seqs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = r.src.FetchSegment(ctx, s)
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}

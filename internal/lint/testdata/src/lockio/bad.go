@@ -1,0 +1,70 @@
+// Bad fixtures for periscopelint/lockio, modeled on the seed chat bug:
+// Room.Broadcast wrote every member's websocket synchronously while
+// holding the room mutex, so one stalled member froze the room.
+package lockio
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"websocket"
+)
+
+type member struct {
+	conn *websocket.Conn
+}
+
+type room struct {
+	mu      sync.Mutex
+	members []*member
+}
+
+// broadcastBad is the seed bug verbatim: per-member socket writes under
+// the shared room lock.
+func (r *room) broadcastBad(msg []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.members {
+		m.conn.WriteMessage(1, msg) // want `websocket conn WriteMessage while r\.mu is held`
+	}
+}
+
+// sleepBad parks the whole room.
+func (r *room) sleepBad() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while r\.mu is held`
+	r.mu.Unlock()
+}
+
+// sendBad blocks on a full channel with the lock held.
+func (r *room) sendBad(ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch <- 1 // want `channel send without a select\+default while r\.mu is held`
+}
+
+// selectSendBad: a select without default still blocks.
+func (r *room) selectSendBad(ch chan int, quit chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case ch <- 1: // want `channel send without a select\+default while r\.mu is held`
+	case <-quit:
+	}
+}
+
+// httpBad holds a registry lock across an HTTP round trip.
+func (r *room) httpBad(c *http.Client, req *http.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.Do(req) // want `net/http round trip \(http\.Client\.Do\) while r\.mu is held`
+}
+
+// netConnBad writes a foreign net.Conn under a lock.
+func netConnBad(mu *sync.Mutex, nc net.Conn, b []byte) {
+	mu.Lock()
+	defer mu.Unlock()
+	nc.Write(b) // want `conn Write \(net\.Conn\) while mu is held`
+}

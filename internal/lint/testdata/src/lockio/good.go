@@ -1,0 +1,63 @@
+// Clean fixtures for periscopelint/lockio: snapshot-then-write, bounded
+// handoffs, a conn's own write lock, and a justified suppression.
+package lockio
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// broadcastGood snapshots the member list under the lock and writes
+// outside it — the PR 7 fix shape.
+func (r *room) broadcastGood(msg []byte) {
+	r.mu.Lock()
+	members := append([]*member(nil), r.members...)
+	r.mu.Unlock()
+	for _, m := range members {
+		m.conn.WriteMessage(1, msg)
+	}
+}
+
+// offerGood: a drop-oldest bounded handoff never blocks under the lock.
+func (r *room) offerGood(ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// lockedConn serializes its own writes under its own mutex, like
+// rtmp.Conn.writeMu: the lock guards exactly this connection, so the
+// write is the critical section's purpose, not a victim of it.
+type lockedConn struct {
+	writeMu sync.Mutex
+	nc      net.Conn
+}
+
+func (c *lockedConn) write(b []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.nc.Write(b)
+	return err
+}
+
+// unlockThenSleep: sequential unlock clears the held state.
+func (r *room) unlockThenSleep() {
+	r.mu.Lock()
+	n := len(r.members)
+	r.mu.Unlock()
+	if n > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// suppressedSleep shows the escape hatch: justified exceptions pass.
+func (r *room) suppressedSleep() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:ignore periscopelint/lockio fixture: a deliberate 1µs pause, bounded and test-only
+	time.Sleep(time.Microsecond)
+}

@@ -1,0 +1,47 @@
+// Bad fixtures for periscopelint/refpair, modeled on the PR 3 bug
+// class: refcounted payloads leaked on early error returns, and pooled
+// buffers recycled twice.
+package refpair
+
+import (
+	"errors"
+
+	"rtmp"
+)
+
+var errFill = errors.New("fill failed")
+
+// leakOnError mirrors the historical bug: the error path returns before
+// the creating reference is released, leaking a pooled buffer.
+func leakOnError(p []byte, fail bool) error {
+	sp := rtmp.SharePayload(p)
+	if fail {
+		return errFill // want `leaks a rtmp\.SharedPayload reference`
+	}
+	sp.Release()
+	return nil
+}
+
+// leakNoRelease never releases at all.
+func leakNoRelease(p []byte) int {
+	sp := rtmp.SharePayload(p)
+	n := len(sp.Bytes())
+	return n // want `leaks a rtmp\.SharedPayload reference`
+}
+
+// doubleRelease recycles the buffer while the first release's consumer
+// may still read it.
+func doubleRelease(p []byte) {
+	sp := rtmp.SharePayload(p)
+	sp.Release()
+	sp.Release() // want `Release with no reference held`
+}
+
+// releaseAfterRetainImbalance: one retain, three releases.
+func releaseAfterRetainImbalance(p []byte) {
+	sp := rtmp.SharePayload(p)
+	sp.Retain()
+	sp.Release()
+	sp.Release()
+	sp.Release() // want `Release with no reference held`
+}

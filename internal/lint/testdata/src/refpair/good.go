@@ -1,0 +1,56 @@
+// Clean fixtures for periscopelint/refpair: the idiomatic ownership
+// patterns from the hub fan-out must not be flagged.
+package refpair
+
+import (
+	"errors"
+
+	"rtmp"
+)
+
+// releaseAllPaths releases on both the error and the success path.
+func releaseAllPaths(p []byte, fail bool) error {
+	sp := rtmp.SharePayload(p)
+	if fail {
+		sp.Release()
+		return errors.New("failed")
+	}
+	sp.Release()
+	return nil
+}
+
+// deferredRelease covers every exit path at once.
+func deferredRelease(p []byte, fail bool) error {
+	sp := rtmp.SharePayload(p)
+	defer sp.Release()
+	if fail {
+		return errors.New("failed")
+	}
+	_ = sp.Bytes()
+	return nil
+}
+
+// retainPerHandoff is the hub idiom: one retain per queue handoff, the
+// queue owns the handed-off reference, and the creating reference is
+// dropped at the end. The handoff transfers ownership, so the analysis
+// trusts the receiver to release it.
+func retainPerHandoff(p []byte, queues []chan *rtmp.SharedPayload) {
+	sp := rtmp.SharePayload(p)
+	for _, q := range queues {
+		sp.Retain()
+		q <- sp
+	}
+	sp.Release()
+}
+
+// descriptor handoff through a composite literal, as hub.onMedia does.
+type shardMsg struct {
+	sp *rtmp.SharedPayload
+}
+
+func publishDescriptor(p []byte, shard chan shardMsg) {
+	sp := rtmp.SharePayload(p)
+	sp.Retain()
+	shard <- shardMsg{sp: sp}
+	sp.Release()
+}

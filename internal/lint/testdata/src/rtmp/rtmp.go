@@ -1,0 +1,12 @@
+// Package rtmp is a fixture stub of periscope/internal/rtmp: just
+// enough of the SharedPayload surface for the refpair analyzer, which
+// matches by package base name and method names.
+package rtmp
+
+type SharedPayload struct{ p []byte }
+
+func SharePayload(p []byte) *SharedPayload { return &SharedPayload{p: p} }
+
+func (sp *SharedPayload) Bytes() []byte { return sp.p }
+func (sp *SharedPayload) Retain()       {}
+func (sp *SharedPayload) Release()      {}

@@ -1,0 +1,19 @@
+// Fixture for the suppression mechanism itself: an //lint:ignore with
+// no reason must not suppress, and must be reported in its own right.
+// (This cannot use a // want comment — the marker would parse as the
+// suppression's reason — so lint_test checks the diagnostics directly.)
+package suppress
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+func noReason() {
+	mu.Lock()
+	//lint:ignore periscopelint/lockio
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package websocket is a fixture stub of periscope/internal/websocket:
+// the lockio analyzer treats Read*/Write* methods on conn types from a
+// package with base name "websocket" as blocking socket I/O.
+package websocket
+
+type Conn struct{}
+
+func (c *Conn) WriteMessage(opcode int, payload []byte) error { return nil }
+func (c *Conn) ReadMessage() (int, []byte, error)             { return 0, nil, nil }

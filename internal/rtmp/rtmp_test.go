@@ -191,8 +191,10 @@ func (h *echoHandler) OnPlay(c *ServerConn, name string) error {
 	// Replay buffered media so late joiners get everything (test determinism).
 	for _, m := range h.media[name] {
 		if m.TypeID == TypeVideo {
+			//lint:ignore periscopelint/lockio test fan-out stays under mu so replay-then-live ordering is deterministic; loopback conns drain in their own read loops and cannot back-pressure into a deadlock
 			c.SendVideo(m.Timestamp, m.Payload)
 		} else {
+			//lint:ignore periscopelint/lockio same as the video branch: ordering determinism in the test harness outweighs lock hold time
 			c.SendAudio(m.Timestamp, m.Payload)
 		}
 	}
@@ -205,8 +207,10 @@ func (h *echoHandler) OnMedia(c *ServerConn, msg Message) {
 	h.media[c.StreamName] = append(h.media[c.StreamName], msg)
 	for _, p := range h.players[c.StreamName] {
 		if msg.TypeID == TypeVideo {
+			//lint:ignore periscopelint/lockio test fan-out stays under mu so a joining player never sees live media out of order with its replay; loopback conns drain independently
 			p.SendVideo(msg.Timestamp, msg.Payload)
 		} else {
+			//lint:ignore periscopelint/lockio same as the video branch: the mutex is what serializes replay against live fan-out in this harness
 			p.SendAudio(msg.Timestamp, msg.Payload)
 		}
 	}
