@@ -1,5 +1,6 @@
 // Command periscopelint runs the repo's custom go/analysis suite
-// (internal/lint): refpair, lockio, atomicmix and ctxdetach.
+// (internal/lint): refpair, lockio, atomicmix, ctxdetach, plus the
+// cross-package fact-driven checks lockorder, gostop and snapmono.
 //
 // It speaks the unitchecker protocol, so the canonical invocation is as
 // a vet tool:

@@ -76,6 +76,12 @@ var defaultTransport = &http.Transport{
 	IdleConnTimeout:     90 * time.Second,
 }
 
+// CloseIdleConnections drops the shared transport's idle connections.
+// The warm sockets are a feature for the life of a process, but their
+// readLoop/writeLoop goroutines would read as leaks to the leakcheck
+// TestMain harness — test binaries call this at teardown.
+func CloseIdleConnections() { defaultTransport.CloseIdleConnections() }
+
 // Client is the app-side API client, built over the same typed endpoint
 // definitions the server mounts. Crawlers create one per logged-in
 // session (distinct session tokens get distinct rate-limit buckets).

@@ -1,0 +1,14 @@
+package chat
+
+import (
+	"testing"
+
+	"periscope/internal/leakcheck"
+)
+
+// TestMain enforces the runtime half of the gostop contract: room
+// shards, control loops, generators and member writers must all exit
+// when their room closes.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

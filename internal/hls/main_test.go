@@ -1,0 +1,13 @@
+package hls
+
+import (
+	"testing"
+
+	"periscope/internal/leakcheck"
+)
+
+// TestMain enforces the runtime half of the gostop contract: replica
+// fill workers and origin helpers must exit with their owners.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

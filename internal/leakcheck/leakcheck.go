@@ -1,0 +1,250 @@
+// Package leakcheck is the runtime half of the goroutine-lifecycle
+// contract that periscopelint/gostop enforces statically: gostop proves
+// every long-lived goroutine launched from a constructor path has a
+// stop path, and leakcheck verifies at the end of a test binary that
+// the stop paths were actually taken — no goroutine from the package
+// under test survives the run.
+//
+// Wire it into a package by declaring
+//
+//	func TestMain(m *testing.M) {
+//		leakcheck.Main(m)
+//	}
+//
+// Main runs the tests and then snapshots all goroutine stacks,
+// retrying over a grace window so goroutines that are mid-teardown
+// (a worker draining its queue after its quit channel closed) are not
+// false positives. Anything still alive after the window whose stack
+// is not on the allowlist fails the binary.
+//
+// The allowlist covers the frames a clean test binary legitimately
+// keeps: the testing harness itself, signal handling, and this
+// package. Per-package exceptions are declared at the wiring site with
+// Allow — every Allow in the tree should cite why the goroutine is
+// expected to outlive the tests.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB that Check reports through; a local
+// interface keeps the package importable without depending on testing.
+type TB interface {
+	Errorf(format string, args ...any)
+	Helper()
+}
+
+// defaultAllow lists stack substrings a clean test binary is allowed to
+// keep alive after the tests finish.
+var defaultAllow = []string{
+	// The testing harness: the main goroutine inside m.Run, parallel
+	// test runners parked between phases.
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.tRunner(",
+	"testing.runTests(",
+	// Signal handling keeps one goroutine for the life of the process.
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	// The runtime's own helpers (trace reader, GC background work show
+	// up without user frames). The checker itself needs no entry: it
+	// runs on the calling goroutine, which is skipped by id.
+	"runtime.ReadTrace",
+	"runtime.goexit",
+}
+
+// config is the assembled option set for one check.
+type config struct {
+	allow    []string
+	retries  int
+	backoff  time.Duration
+	baseline map[string]bool // goroutine ids to ignore (IgnoreCurrent)
+	cleanup  []func()
+}
+
+// Option customizes a Check or Main call.
+type Option func(*config)
+
+// Allow exempts any goroutine whose stack contains substr. Use the
+// narrowest frame that identifies the goroutine, and keep a comment at
+// the call site saying why it legitimately outlives the tests.
+func Allow(substr string) Option {
+	return func(c *config) { c.allow = append(c.allow, substr) }
+}
+
+// Retries sets the grace window: up to n re-snapshots, sleeping backoff
+// between attempts. The default (20 × 50ms, ≈1s) absorbs workers that
+// are mid-teardown when the tests finish.
+func Retries(n int, backoff time.Duration) Option {
+	return func(c *config) { c.retries, c.backoff = n, backoff }
+}
+
+// Cleanup registers fn to run after the tests but before the first
+// snapshot — the place to drop process-wide resources that park
+// goroutines by design, like a shared HTTP transport's idle
+// connections.
+func Cleanup(fn func()) Option {
+	return func(c *config) { c.cleanup = append(c.cleanup, fn) }
+}
+
+// IgnoreCurrent snapshots the goroutines alive right now and exempts
+// them from the check: pre-existing background goroutines (a shared
+// fixture started in init) are the caller's baseline, not a leak.
+func IgnoreCurrent() Option {
+	return func(c *config) {
+		if c.baseline == nil {
+			c.baseline = map[string]bool{}
+		}
+		for _, g := range stacks() {
+			c.baseline[g.id] = true
+		}
+	}
+}
+
+func newConfig(opts []Option) *config {
+	c := &config{
+		allow:   append([]string{}, defaultAllow...),
+		retries: 20,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Check fails t if, after the grace window, any non-allowlisted
+// goroutine is still alive. Use it from individual tests that construct
+// and tear down a subsystem; use Main for whole-binary coverage.
+func Check(t TB, opts ...Option) {
+	t.Helper()
+	if err := check(newConfig(opts)); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+// mRunner is the piece of *testing.M that Main needs.
+type mRunner interface{ Run() int }
+
+// Main wraps testing.M.Run for use from TestMain: it runs the tests
+// and, when they pass, fails the binary if goroutines leaked. It does
+// not return.
+func Main(m mRunner, opts ...Option) {
+	code := m.Run()
+	if code == 0 {
+		if err := check(newConfig(opts)); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// check retries the snapshot until no interesting goroutines remain or
+// the grace window is exhausted.
+func check(c *config) error {
+	for _, fn := range c.cleanup {
+		fn()
+	}
+	var leaked []goroutine
+	for attempt := 0; ; attempt++ {
+		leaked = interesting(c)
+		if len(leaked) == 0 {
+			return nil
+		}
+		if attempt >= c.retries {
+			break
+		}
+		time.Sleep(c.backoff)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d leaked goroutine(s) after %v grace window:",
+		len(leaked), time.Duration(c.retries)*c.backoff)
+	for _, g := range leaked {
+		fmt.Fprintf(&b, "\n\ngoroutine %s [%s]:\n%s", g.id, g.state, g.text)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// interesting snapshots all goroutines and filters to the suspects.
+func interesting(c *config) []goroutine {
+	cur := currentID()
+	var out []goroutine
+	for _, g := range stacks() {
+		if g.id == cur || c.baseline[g.id] {
+			continue
+		}
+		allowed := false
+		for _, a := range c.allow {
+			if strings.Contains(g.text, a) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// goroutine is one parsed stack block from runtime.Stack.
+type goroutine struct {
+	id    string
+	state string
+	text  string // frames, without the header line
+}
+
+// stacks captures and parses every goroutine's stack.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if g, ok := parseBlock(block); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// parseBlock splits "goroutine N [state]:\nframes..." into its parts.
+func parseBlock(block string) (goroutine, bool) {
+	block = strings.TrimSpace(block)
+	header, rest, found := strings.Cut(block, "\n")
+	if !found {
+		rest = ""
+	}
+	if !strings.HasPrefix(header, "goroutine ") {
+		return goroutine{}, false
+	}
+	header = strings.TrimPrefix(header, "goroutine ")
+	id, state, ok := strings.Cut(header, " ")
+	if !ok {
+		return goroutine{}, false
+	}
+	state = strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(state), "["), "]:")
+	return goroutine{id: id, state: state, text: rest}, true
+}
+
+// currentID returns the calling goroutine's id.
+func currentID() string {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	header := string(buf[:n])
+	header = strings.TrimPrefix(header, "goroutine ")
+	id, _, _ := strings.Cut(header, " ")
+	return id
+}

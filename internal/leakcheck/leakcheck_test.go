@@ -1,0 +1,141 @@
+package leakcheck
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTB captures Errorf output so the tests can assert on what Check
+// reports without failing themselves.
+type fakeTB struct {
+	mu   sync.Mutex
+	errs []string
+}
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeTB) Helper() {}
+
+// leakyWait blocks until ch closes; its name identifies the goroutine
+// in stack dumps.
+func leakyWait(ch chan struct{}, started *sync.WaitGroup) {
+	started.Done()
+	<-ch
+}
+
+// TestCatchesLeak: a goroutine parked on a never-closed channel is
+// reported, and the report carries its stack.
+func TestCatchesLeak(t *testing.T) {
+	ch := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	go leakyWait(ch, &started)
+	started.Wait()
+
+	fake := &fakeTB{}
+	Check(fake, Retries(2, 10*time.Millisecond))
+
+	close(ch) // clean up before asserting, so TestMain stays green
+	if len(fake.errs) != 1 {
+		t.Fatalf("want 1 leak report, got %d: %q", len(fake.errs), fake.errs)
+	}
+	if !strings.Contains(fake.errs[0], "leakyWait") {
+		t.Errorf("leak report does not name the leaked frame: %s", fake.errs[0])
+	}
+	if !strings.Contains(fake.errs[0], "leaked goroutine(s)") {
+		t.Errorf("unexpected report format: %s", fake.errs[0])
+	}
+	waitGone(t, "leakyWait")
+}
+
+// TestAllowlistedFrameNotReported: the same parked goroutine passes
+// when its frame is allowlisted.
+func TestAllowlistedFrameNotReported(t *testing.T) {
+	ch := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	go leakyWait(ch, &started)
+	started.Wait()
+
+	fake := &fakeTB{}
+	Check(fake, Retries(2, 10*time.Millisecond), Allow("leakcheck.leakyWait"))
+
+	close(ch)
+	if len(fake.errs) != 0 {
+		t.Fatalf("allowlisted goroutine was reported: %q", fake.errs)
+	}
+	waitGone(t, "leakyWait")
+}
+
+// TestGracePeriodToleratesLateExit: a goroutine that is still draining
+// when the check starts but exits within the retry window is not a
+// leak.
+func TestGracePeriodToleratesLateExit(t *testing.T) {
+	ch := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	go leakyWait(ch, &started)
+	started.Wait()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(ch)
+	}()
+
+	fake := &fakeTB{}
+	Check(fake, Retries(30, 10*time.Millisecond))
+	if len(fake.errs) != 0 {
+		t.Fatalf("goroutine exiting within the grace window was reported: %q", fake.errs)
+	}
+}
+
+// TestIgnoreCurrent: a goroutine alive before the option is applied is
+// baseline, not a leak.
+func TestIgnoreCurrent(t *testing.T) {
+	ch := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	go leakyWait(ch, &started)
+	started.Wait()
+
+	fake := &fakeTB{}
+	Check(fake, IgnoreCurrent(), Retries(2, 10*time.Millisecond))
+
+	close(ch)
+	if len(fake.errs) != 0 {
+		t.Fatalf("baselined goroutine was reported: %q", fake.errs)
+	}
+	waitGone(t, "leakyWait")
+}
+
+// waitGone blocks until no goroutine stack mentions frame, so one
+// test's deliberate leak cannot bleed into the next.
+func waitGone(t *testing.T, frame string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		found := false
+		for _, g := range stacks() {
+			if strings.Contains(g.text, frame) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine with frame %s did not exit", frame)
+}
+
+// TestMain dogfoods the harness on this package's own tests.
+func TestMain(m *testing.M) {
+	Main(m)
+}

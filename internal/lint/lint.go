@@ -18,6 +18,20 @@
 //     waiters (single-flight fills) must not capture the initiating
 //     request's context.Context (the PR 4 initiator-disconnect bug: one
 //     viewer hanging up failed the fill for everyone).
+//   - lockorder: the module-wide lock acquisition graph must be acyclic.
+//     Functions export the lock classes they may acquire and packages
+//     export their accumulated edges as facts, so a cycle split across
+//     packages (service holding its shard lock while hls takes a replica
+//     lock, and vice versa elsewhere) is reported with its full chain.
+//   - gostop: every long-lived goroutine launched from a constructor
+//     path (New*/Open*/Start*/Dial*) must be provably stoppable — a
+//     context, a quit channel closed on teardown, a WaitGroup join, or a
+//     conn-lifetime read loop. The runtime half of this contract is
+//     internal/leakcheck's TestMain harness.
+//   - snapmono: counter fields folded into Snapshot/Stats aggregates
+//     must only accumulate — no zeroing, decrementing or atomic Store —
+//     so snapshots never dip under churn (the monotonicity invariant the
+//     service and hls stats tests rely on).
 //
 // Deliberate exceptions are suppressed inline with
 //
@@ -42,6 +56,9 @@ func Analyzers() []*analysis.Analyzer {
 		LockIOAnalyzer,
 		AtomicMixAnalyzer,
 		CtxDetachAnalyzer,
+		LockOrderAnalyzer,
+		GoStopAnalyzer,
+		SnapMonoAnalyzer,
 	}
 }
 

@@ -11,6 +11,21 @@
 // Fixture imports resolve against testdata/src first (so fixtures can
 // import stub packages like testdata/src/rtmp), then fall back to the
 // compiler's source importer for the standard library.
+//
+// Multi-package fixtures: when the fixture imports other packages under
+// testdata/src, the analyzer runs over every fixture package in
+// dependency order before the target, with object and package facts
+// flowing across the boundary exactly as under go vet. Diagnostics and
+// // want comments are checked across the whole fixture closure, so a
+// dependency package asserts its own findings.
+//
+// Fact assertions: a comment of the form
+//
+//	// want Name:"regexp"
+//
+// asserts that the analyzer exported an object fact on the object Name
+// declared on that line, and that the fact's String() matches the
+// regexp. Diagnostic and fact expectations can share one want comment.
 package linttest
 
 import (
@@ -34,25 +49,24 @@ import (
 )
 
 // Run loads testdata/src/<pkgpath> (relative to the calling test's
-// package directory) and checks a's diagnostics against the fixture's
-// // want comments.
+// package directory) and checks a's diagnostics and exported facts
+// against the fixture closure's // want comments.
 func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
 	t.Helper()
-	ld, pkg, diags := analyze(t, a, pkgpath)
-	_ = ld
-	checkWants(t, a, ld.fset, pkg.files, diags)
+	res := analyze(t, a, pkgpath)
+	checkWants(t, a, res)
 }
 
 // Diagnostics loads the fixture and returns the analyzer's diagnostics
-// as "basename:line: message" strings, for expectations that cannot be
-// written as // want comments (e.g. diagnostics about the suppression
-// comments themselves).
+// (across the whole fixture closure) as "basename:line: message"
+// strings, for expectations that cannot be written as // want comments
+// (e.g. diagnostics about the suppression comments themselves).
 func Diagnostics(t *testing.T, a *analysis.Analyzer, pkgpath string) []string {
 	t.Helper()
-	ld, _, diags := analyze(t, a, pkgpath)
+	res := analyze(t, a, pkgpath)
 	var out []string
-	for _, d := range diags {
-		pos := ld.fset.Position(d.Pos)
+	for _, d := range res.diags {
+		pos := res.fset.Position(d.Pos)
 		out = append(out, fmt.Sprintf("%s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message))
 	}
 	sort.Strings(out)
@@ -66,7 +80,17 @@ var (
 	sharedLoaders = map[string]*loader{}
 )
 
-func analyze(t *testing.T, a *analysis.Analyzer, pkgpath string) (*loader, *loadedPackage, []analysis.Diagnostic) {
+// result is everything one analysis run produced: the fixture closure's
+// files, the analyzer's diagnostics across the closure, and the
+// exported object facts.
+type result struct {
+	fset     *token.FileSet
+	files    []*ast.File
+	diags    []analysis.Diagnostic
+	objFacts map[objFactKey]analysis.Fact
+}
+
+func analyze(t *testing.T, a *analysis.Analyzer, pkgpath string) *result {
 	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {
@@ -80,19 +104,24 @@ func analyze(t *testing.T, a *analysis.Analyzer, pkgpath string) (*loader, *load
 		ld = newLoader(root)
 		sharedLoaders[root] = ld
 	}
-	pkg, err := ld.load(pkgpath)
-	if err != nil {
+	if _, err := ld.load(pkgpath); err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgpath, err)
 	}
-	diags, err := runAnalyzer(a, ld, pkg)
+	// The target's fixture closure, in dependency-first load order: the
+	// loader appends a package only after its imports finished loading,
+	// so filtering the load order by reachability yields a topological
+	// order with dependencies compiled (and analyzed) first.
+	closure := ld.closure(pkgpath)
+	res, err := runAnalyzer(a, ld, closure)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
 	}
-	return ld, pkg, diags
+	return res
 }
 
 // loadedPackage bundles one type-checked fixture package.
 type loadedPackage struct {
+	path  string
 	pkg   *types.Package
 	files []*ast.File
 	info  *types.Info
@@ -105,6 +134,7 @@ type loader struct {
 	fset     *token.FileSet
 	fallback types.Importer
 	loaded   map[string]*loadedPackage
+	order    []string // fixture paths in load-completion (topological) order
 }
 
 func newLoader(root string) *loader {
@@ -166,86 +196,136 @@ func (l *loader) load(path string) (*loadedPackage, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &loadedPackage{pkg: pkg, files: files, info: info}
+	p := &loadedPackage{path: path, pkg: pkg, files: files, info: info}
 	l.loaded[path] = p
+	// Imports load recursively through conf.Check, so by the time we get
+	// here every fixture dependency is already in l.order.
+	l.order = append(l.order, path)
 	return p, nil
 }
 
-// runAnalyzer executes a and its Requires closure in dependency order
-// and returns a's diagnostics.
-func runAnalyzer(a *analysis.Analyzer, ld *loader, pkg *loadedPackage) ([]analysis.Diagnostic, error) {
-	results := map[*analysis.Analyzer]any{}
-	var diags []analysis.Diagnostic
-	objFacts := map[objFactKey]analysis.Fact{}
-	pkgFacts := map[pkgFactKey]analysis.Fact{}
-
-	var run func(an *analysis.Analyzer) error
-	running := map[*analysis.Analyzer]bool{}
-	run = func(an *analysis.Analyzer) error {
-		if _, done := results[an]; done {
-			return nil
+// closure returns the fixture packages reachable from target (including
+// target itself), dependency-first.
+func (l *loader) closure(target string) []*loadedPackage {
+	reach := map[string]bool{}
+	var mark func(path string)
+	mark = func(path string) {
+		if reach[path] {
+			return
 		}
-		if running[an] {
-			return fmt.Errorf("analyzer dependency cycle at %s", an.Name)
+		reach[path] = true
+		p := l.loaded[path]
+		if p == nil {
+			return
 		}
-		running[an] = true
-		for _, req := range an.Requires {
-			if err := run(req); err != nil {
-				return err
+		for _, imp := range p.pkg.Imports() {
+			if _, ok := l.loaded[imp.Path()]; ok {
+				mark(imp.Path())
 			}
 		}
-		resultOf := map[*analysis.Analyzer]any{}
-		for _, req := range an.Requires {
-			resultOf[req] = results[req]
-		}
-		pass := &analysis.Pass{
-			Analyzer:   an,
-			Fset:       ld.fset,
-			Files:      pkg.files,
-			Pkg:        pkg.pkg,
-			TypesInfo:  pkg.info,
-			TypesSizes: types.SizesFor("gc", "amd64"),
-			ResultOf:   resultOf,
-			Report: func(d analysis.Diagnostic) {
-				if an == a {
-					diags = append(diags, d)
-				}
-			},
-			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
-				f, ok := objFacts[objFactKey{obj, factType(fact)}]
-				if ok {
-					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
-				}
-				return ok
-			},
-			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
-				objFacts[objFactKey{obj, factType(fact)}] = fact
-			},
-			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
-				f, ok := pkgFacts[pkgFactKey{p, factType(fact)}]
-				if ok {
-					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
-				}
-				return ok
-			},
-			ExportPackageFact: func(fact analysis.Fact) {
-				pkgFacts[pkgFactKey{pkg.pkg, factType(fact)}] = fact
-			},
-			AllObjectFacts:  func() []analysis.ObjectFact { return nil },
-			AllPackageFacts: func() []analysis.PackageFact { return nil },
-			ReadFile:        os.ReadFile,
-		}
-		res, err := an.Run(pass)
-		if err != nil {
-			return fmt.Errorf("%s: %w", an.Name, err)
-		}
-		results[an] = res
-		return nil
 	}
-	if err := run(a); err != nil {
-		return nil, err
+	mark(target)
+	var out []*loadedPackage
+	for _, path := range l.order {
+		if reach[path] {
+			out = append(out, l.loaded[path])
+		}
 	}
-	return diags, nil
+	return out
+}
+
+// runAnalyzer executes a and its Requires closure over every package in
+// pkgs (dependency-first), sharing fact stores so object and package
+// facts exported by a dependency are importable downstream. It returns
+// a's diagnostics across the whole closure.
+func runAnalyzer(a *analysis.Analyzer, ld *loader, pkgs []*loadedPackage) (*result, error) {
+	res := &result{fset: ld.fset, objFacts: map[objFactKey]analysis.Fact{}}
+	pkgFacts := map[pkgFactKey]analysis.Fact{}
+
+	for _, pkg := range pkgs {
+		res.files = append(res.files, pkg.files...)
+		results := map[*analysis.Analyzer]any{}
+		running := map[*analysis.Analyzer]bool{}
+		var run func(an *analysis.Analyzer) error
+		run = func(an *analysis.Analyzer) error {
+			if _, done := results[an]; done {
+				return nil
+			}
+			if running[an] {
+				return fmt.Errorf("analyzer dependency cycle at %s", an.Name)
+			}
+			running[an] = true
+			for _, req := range an.Requires {
+				if err := run(req); err != nil {
+					return err
+				}
+			}
+			resultOf := map[*analysis.Analyzer]any{}
+			for _, req := range an.Requires {
+				resultOf[req] = results[req]
+			}
+			pkg := pkg
+			pass := &analysis.Pass{
+				Analyzer:   an,
+				Fset:       ld.fset,
+				Files:      pkg.files,
+				Pkg:        pkg.pkg,
+				TypesInfo:  pkg.info,
+				TypesSizes: types.SizesFor("gc", "amd64"),
+				ResultOf:   resultOf,
+				Report: func(d analysis.Diagnostic) {
+					if an == a {
+						res.diags = append(res.diags, d)
+					}
+				},
+				ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+					f, ok := res.objFacts[objFactKey{obj, factType(fact)}]
+					if ok {
+						reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+					}
+					return ok
+				},
+				ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+					res.objFacts[objFactKey{obj, factType(fact)}] = fact
+				},
+				ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+					f, ok := pkgFacts[pkgFactKey{p, factType(fact)}]
+					if ok {
+						reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+					}
+					return ok
+				},
+				ExportPackageFact: func(fact analysis.Fact) {
+					pkgFacts[pkgFactKey{pkg.pkg, factType(fact)}] = fact
+				},
+				AllObjectFacts: func() []analysis.ObjectFact {
+					var out []analysis.ObjectFact
+					for k, f := range res.objFacts {
+						out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+					}
+					return out
+				},
+				AllPackageFacts: func() []analysis.PackageFact {
+					var out []analysis.PackageFact
+					for k, f := range pkgFacts {
+						out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+					}
+					return out
+				},
+				ReadFile: os.ReadFile,
+			}
+			r, err := an.Run(pass)
+			if err != nil {
+				return fmt.Errorf("%s: %w", an.Name, err)
+			}
+			results[an] = r
+			return nil
+		}
+		if err := run(a); err != nil {
+			return nil, fmt.Errorf("package %s: %w", pkg.path, err)
+		}
+	}
+	return res, nil
 }
 
 type objFactKey struct {
@@ -260,10 +340,12 @@ type pkgFactKey struct {
 
 func factType(f analysis.Fact) reflect.Type { return reflect.TypeOf(f) }
 
-// want is one expectation parsed from a // want comment.
+// want is one expectation parsed from a // want comment: a diagnostic
+// regexp, or (when obj is non-empty) an object-fact assertion.
 type want struct {
 	file    string
 	line    int
+	obj     string // fact expectation: object name declared on this line
 	re      *regexp.Regexp
 	raw     string
 	matched bool
@@ -271,12 +353,14 @@ type want struct {
 
 var wantRe = regexp.MustCompile("// want (.*)$")
 
-// checkWants compares diagnostics to // want "regexp" comments, using
-// the same per-line convention as analysistest.
-func checkWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+// checkWants compares diagnostics and exported facts to // want
+// comments across the whole fixture closure, using the same per-line
+// convention as analysistest.
+func checkWants(t *testing.T, a *analysis.Analyzer, res *result) {
 	t.Helper()
+	fset := res.fset
 	var wants []*want
-	for _, f := range files {
+	for _, f := range res.files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRe.FindStringSubmatch(c.Text)
@@ -285,22 +369,22 @@ func checkWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files [
 				}
 				pos := fset.Position(c.Pos())
 				for _, pat := range splitWantPatterns(m[1]) {
-					re, err := regexp.Compile(pat)
+					re, err := regexp.Compile(pat.re)
 					if err != nil {
-						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat.re, err)
 						continue
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, obj: pat.obj, re: re, raw: pat.re})
 				}
 			}
 		}
 	}
 
-	for _, d := range diags {
+	for _, d := range res.diags {
 		pos := fset.Position(d.Pos)
 		found := false
 		for _, w := range wants {
-			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+			if w.obj == "" && !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
 				w.matched = true
 				found = true
 				break
@@ -310,6 +394,25 @@ func checkWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files [
 			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, a.Name, d.Message)
 		}
 	}
+
+	// Fact expectations: the object named w.obj, declared on w's line,
+	// must carry an exported fact whose String() matches.
+	for _, w := range wants {
+		if w.obj == "" {
+			continue
+		}
+		for k, f := range res.objFacts {
+			if k.obj == nil || k.obj.Name() != w.obj {
+				continue
+			}
+			pos := fset.Position(k.obj.Pos())
+			if pos.Filename == w.file && pos.Line == w.line && w.re.MatchString(fmt.Sprint(f)) {
+				w.matched = true
+				break
+			}
+		}
+	}
+
 	sort.Slice(wants, func(i, j int) bool {
 		if wants[i].file != wants[j].file {
 			return wants[i].file < wants[j].file
@@ -317,17 +420,39 @@ func checkWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files [
 		return wants[i].line < wants[j].line
 	})
 	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		if w.matched {
+			continue
 		}
+		if w.obj != "" {
+			t.Errorf("%s:%d: expected fact on %s matching %q, got none", w.file, w.line, w.obj, w.raw)
+			continue
+		}
+		t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
 	}
 }
 
+// wantPattern is one element of a want comment: a plain diagnostic
+// regexp, or an obj:"regexp" fact assertion.
+type wantPattern struct {
+	obj string
+	re  string
+}
+
 // splitWantPatterns parses the quoted/backquoted regexps after // want.
-func splitWantPatterns(s string) []string {
-	var out []string
+// An element of the form name:"re" (or name:`re`) asserts an object
+// fact instead of a diagnostic.
+func splitWantPatterns(s string) []wantPattern {
+	var out []wantPattern
 	s = strings.TrimSpace(s)
 	for s != "" {
+		var obj string
+		if i := factPrefixLen(s); i > 0 {
+			obj = s[:i-1] // drop the ':'
+			s = s[i:]
+		}
+		if s == "" {
+			return out
+		}
 		switch s[0] {
 		case '"':
 			end := 1
@@ -338,7 +463,7 @@ func splitWantPatterns(s string) []string {
 				return out
 			}
 			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
-				out = append(out, unq)
+				out = append(out, wantPattern{obj: obj, re: unq})
 			}
 			s = strings.TrimSpace(s[end+1:])
 		case '`':
@@ -346,13 +471,31 @@ func splitWantPatterns(s string) []string {
 			if end < 0 {
 				return out
 			}
-			out = append(out, s[1:end+1])
+			out = append(out, wantPattern{obj: obj, re: s[1 : end+1]})
 			s = strings.TrimSpace(s[end+2:])
 		default:
 			return out
 		}
 	}
 	return out
+}
+
+// factPrefixLen reports the length of a leading `identifier:` fact
+// prefix (including the colon), or 0 when s starts with a quote.
+func factPrefixLen(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			if i > 0 && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '`') {
+				return i + 1
+			}
+			return 0
+		}
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9') {
+			return 0
+		}
+	}
+	return 0
 }
 
 func dirExists(dir string) bool {

@@ -1,0 +1,45 @@
+// Bad fixtures for periscopelint/gostop: background loops launched
+// from constructor paths with no way to stop them — the goroutine
+// outlives its owner on every construct/teardown cycle.
+package gostop
+
+import "time"
+
+type pump struct{ n int }
+
+// NewPump launches a ticker loop with no stop path: no context, no
+// quit channel, no WaitGroup join.
+func NewPump() *pump {
+	p := &pump{}
+	go p.loop() // want `long-lived goroutine launched from constructor path NewPump has no stop path`
+	return p
+}
+
+func (p *pump) loop() {
+	for {
+		time.Sleep(time.Millisecond)
+		p.n++
+	}
+}
+
+// StartDrip launches an unstoppable ticker closure from a Start path.
+func (p *pump) StartDrip() {
+	go func() { // want `long-lived goroutine launched from constructor path StartDrip has no stop path`
+		t := time.NewTicker(time.Millisecond)
+		for range t.C {
+			p.n++
+		}
+	}()
+}
+
+// newFeeder reaches the launch through a helper: the constructor path
+// includes everything the constructor calls inside the package.
+func newFeeder() *pump {
+	p := &pump{}
+	p.arm()
+	return p
+}
+
+func (p *pump) arm() {
+	go p.loop() // want `long-lived goroutine launched from constructor path arm has no stop path`
+}

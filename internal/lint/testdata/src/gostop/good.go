@@ -1,0 +1,116 @@
+// Clean fixtures for periscopelint/gostop: every blessed stop idiom in
+// this repo — quit channels closed on teardown, contexts, WaitGroup
+// joins, and conn-lifetime read loops.
+package gostop
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type worker struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+	n    int
+}
+
+// NewWorker's loop selects on a quit channel that Close closes.
+func NewWorker() *worker {
+	w := &worker{quit: make(chan struct{})}
+	go w.run()
+	return w
+}
+
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-time.After(time.Millisecond):
+			w.n++
+		}
+	}
+}
+
+func (w *worker) Close() { close(w.quit) }
+
+// NewCtxWorker's loop watches the context it captured.
+func NewCtxWorker(ctx context.Context) *worker {
+	w := &worker{}
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+				w.n++
+			}
+		}
+	}()
+	return w
+}
+
+// NewCtxArg passes the context at the launch site; the callee side is
+// checked in its own right.
+func NewCtxArg(ctx context.Context) *worker {
+	w := &worker{}
+	go w.runCtx(ctx)
+	return w
+}
+
+func (w *worker) runCtx(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// NewPool's workers drain a jobs channel and are joined via WaitGroup.
+func NewPool(jobs chan func()) *worker {
+	w := &worker{}
+	w.wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer w.wg.Done()
+			for job := range jobs {
+				job()
+			}
+		}()
+	}
+	return w
+}
+
+type conn interface {
+	ReadMessage() ([]byte, error)
+	Close() error
+}
+
+// StartEcho's loop blocks on conn reads: closing the conn is the stop
+// path (conn-lifetime goroutine; leakcheck owns the runtime half).
+func StartEcho(c conn) *worker {
+	w := &worker{}
+	go func() {
+		for {
+			if _, err := c.ReadMessage(); err != nil {
+				return
+			}
+			w.n++
+		}
+	}()
+	return w
+}
+
+// handle is not a constructor path: per-request launches are
+// leakcheck's concern, not gostop's.
+func (w *worker) handle() {
+	go w.spin()
+}
+
+func (w *worker) spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,27 @@
+// Dependent fixture for cross-package gostop: a constructor launching
+// lib's unstoppable loop is flagged here, through lib's exported fact.
+package app
+
+import "gostop2/lib"
+
+type churnBox struct {
+	c    *lib.Churner
+	quit chan struct{}
+}
+
+// NewChurn launches lib's unstoppable loop from a constructor.
+func NewChurn() *churnBox {
+	b := &churnBox{c: &lib.Churner{}}
+	go b.c.Spin() // want `long-lived goroutine launched from constructor path NewChurn has no stop path`
+	return b
+}
+
+// NewTicker launches lib's stoppable loop: the fact says Tick watches
+// its quit channel, and Close closes it.
+func NewTicker() *churnBox {
+	b := &churnBox{c: &lib.Churner{}, quit: make(chan struct{})}
+	go b.c.Tick(b.quit)
+	return b
+}
+
+func (b *churnBox) Close() { close(b.quit) }

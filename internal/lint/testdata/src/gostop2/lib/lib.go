@@ -1,0 +1,28 @@
+// Dependency fixture for cross-package gostop: the classification of
+// Spin (long-lived, no stop path) crosses the package boundary as an
+// exported fact.
+package lib
+
+import "time"
+
+type Churner struct{ N int }
+
+// Spin loops forever with no stop path.
+func (c *Churner) Spin() { // want Spin:`long-lived\(no stop path\)`
+	for {
+		time.Sleep(time.Millisecond)
+		c.N++
+	}
+}
+
+// Tick loops forever but watches its quit channel.
+func (c *Churner) Tick(quit chan struct{}) { // want Tick:`long-lived\(stoppable`
+	for {
+		select {
+		case <-quit:
+			return
+		case <-time.After(time.Millisecond):
+			c.N++
+		}
+	}
+}

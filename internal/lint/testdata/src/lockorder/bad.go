@@ -1,0 +1,44 @@
+// Bad fixture for periscopelint/lockorder: the hub/shard hierarchy
+// acquired in both directions. attach establishes hub.mu → shard.mu;
+// deliver holds shard.mu and calls back into the hub, which takes
+// hub.mu — the classic AB/BA deadlock, visible only module-wide.
+package lockorder
+
+import "sync"
+
+type hub struct {
+	mu     sync.Mutex
+	shards []*shard
+	n      int
+}
+
+type shard struct {
+	mu  sync.Mutex
+	hub *hub
+	n   int
+}
+
+// attach takes hub.mu then shard.mu. This is the first half of the
+// cycle, and where the analyzer reports it (the lexically first edge of
+// the cycle contributed by this package).
+func (h *hub) attach(s *shard) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.mu.Lock() // want `lock-order cycle \(potential deadlock\): lockorder\.hub\.mu → lockorder\.shard\.mu \(attach at .*\) → lockorder\.hub\.mu \(deliver at .*\)`
+	s.n++
+	s.mu.Unlock()
+}
+
+// deliver holds shard.mu across a call that may take hub.mu: the
+// reverse order, closing the cycle through the call graph.
+func (s *shard) deliver() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hub.forget(s)
+}
+
+func (h *hub) forget(s *shard) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n--
+}

@@ -1,0 +1,51 @@
+// Clean fixture for periscopelint/lockorder: the blessed idioms — a
+// one-way hierarchy, and dropping the inner lock before calling back up.
+package lockorder
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	rooms []*room
+}
+
+type room struct {
+	mu  sync.Mutex
+	reg *registry
+	n   int
+}
+
+// sweep takes registry.mu then room.mu: a strict one-way hierarchy
+// produces edges but no cycle.
+func (g *registry) sweep() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.rooms {
+		r.mu.Lock()
+		r.n++
+		r.mu.Unlock()
+	}
+}
+
+// leave releases room.mu before calling back into the registry, so no
+// reverse edge exists: snapshot state under the lock, call after.
+func (r *room) leave() {
+	r.mu.Lock()
+	r.n--
+	empty := r.n == 0
+	r.mu.Unlock()
+	if empty {
+		r.reg.drop(r)
+	}
+}
+
+func (g *registry) drop(r *room) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, w := range g.rooms {
+		if w == r {
+			g.rooms = append(g.rooms[:i], g.rooms[i+1:]...)
+			return
+		}
+	}
+}

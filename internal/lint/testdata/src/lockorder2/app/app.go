@@ -1,0 +1,23 @@
+// Dependent fixture for cross-package lockorder: holding lib's Index
+// lock while calling a lib function whose imported fact says it takes
+// the Registry lock closes the Registry→Index→Registry cycle. The full
+// chain names both packages' sites.
+package app
+
+import "lockorder2/lib"
+
+// ReverseOrder completes the cross-package cycle.
+func ReverseOrder() {
+	lib.Idx.Mu.Lock()
+	defer lib.Idx.Mu.Unlock()
+	lib.TouchRegistry() // want `lock-order cycle \(potential deadlock\): lib\.Index\.Mu → lib\.Registry\.Mu \(ReverseOrder at .*app\.go:\d+\) → lib\.Index\.Mu \(Reindex at .*lib\.go:\d+\)`
+}
+
+// SameOrder touches both locks but never holds them together: no edge,
+// no cycle.
+func SameOrder() {
+	lib.Reg.Mu.Lock()
+	lib.Reg.Mu.Unlock()
+	lib.Idx.Mu.Lock()
+	lib.Idx.Mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Dependency fixture for cross-package lockorder: this package
+// establishes Registry.Mu → Index.Mu and exports per-function acquire
+// facts; the dependent app package closes the cycle.
+package lib
+
+import "sync"
+
+type Registry struct{ Mu sync.Mutex }
+
+type Index struct{ Mu sync.Mutex }
+
+var (
+	Reg Registry
+	Idx Index
+)
+
+// Reindex establishes the edge Registry.Mu → Index.Mu.
+func Reindex() {
+	Reg.Mu.Lock()
+	defer Reg.Mu.Unlock()
+	Idx.Mu.Lock()
+	Idx.Mu.Unlock()
+}
+
+// TouchRegistry's exported fact records that callers may end up holding
+// Registry.Mu.
+func TouchRegistry() { // want TouchRegistry:`acquires\(lib\.Registry\.Mu\)`
+	Reg.Mu.Lock()
+	defer Reg.Mu.Unlock()
+}

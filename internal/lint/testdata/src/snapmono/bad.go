@@ -1,0 +1,52 @@
+// Bad fixtures for periscopelint/snapmono: counters folded into a
+// Stats/Snapshot aggregate being reset or overwritten — readers see
+// the aggregate dip under churn.
+package snapmono
+
+import "sync"
+
+type Stats struct {
+	Fills  uint64
+	Misses uint64
+	Depth  int
+}
+
+type cache struct {
+	mu     sync.Mutex
+	fills  uint64
+	misses uint64
+	depth  int
+	st     Stats
+}
+
+func (c *cache) fill()  { c.mu.Lock(); c.fills++; c.mu.Unlock() }
+func (c *cache) miss()  { c.mu.Lock(); c.misses++; c.mu.Unlock() }
+func (c *cache) push()  { c.mu.Lock(); c.depth++; c.mu.Unlock() }
+func (c *cache) pop()   { c.mu.Lock(); c.depth--; c.mu.Unlock() }
+
+// Snapshot folds the working counters into the aggregate.
+func (c *cache) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.Fills += c.fills
+	c.st.Misses += c.misses
+	c.st.Depth = c.depth
+	return c.st
+}
+
+// reset zeroes working counters that feed the snapshot: the next fold
+// makes the aggregate under-count everything since the last reset.
+func (c *cache) reset() {
+	c.mu.Lock()
+	c.fills = 0  // want `monotonic counter cache\.fills .* is reassigned to a constant`
+	c.misses = 0 // want `monotonic counter cache\.misses .* is reassigned to a constant`
+	c.depth = 0
+	c.mu.Unlock()
+}
+
+// retire subtracts from the aggregate itself: snapshots dip.
+func (c *cache) retire(gone Stats) {
+	c.mu.Lock()
+	c.st.Fills -= gone.Fills // want `monotonic counter Stats\.Fills .* is decremented`
+	c.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Clean fixtures for periscopelint/snapmono: gauges may move both
+// ways, and counters that never feed an aggregate are unconstrained.
+package snapmono
+
+import "sync"
+
+type meter struct {
+	mu      sync.Mutex
+	inflight int
+	scratch  uint64
+	st       Stats
+}
+
+// inflight is a gauge: incremented and decremented, never folded as a
+// monotonic total.
+func (m *meter) begin() { m.mu.Lock(); m.inflight++; m.mu.Unlock() }
+func (m *meter) end()   { m.mu.Lock(); m.inflight--; m.mu.Unlock() }
+
+// scratch never reaches a Snapshot/Stats aggregate, so zeroing it is
+// fine.
+func (m *meter) bump()  { m.mu.Lock(); m.scratch++; m.mu.Unlock() }
+func (m *meter) clear() { m.mu.Lock(); m.scratch = 0; m.mu.Unlock() }
+
+// Snapshot reports the gauge as a point-in-time value.
+func (m *meter) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Depth = m.inflight
+	return m.st
+}

@@ -1,0 +1,29 @@
+// Dependent fixture for cross-package snapmono: resetting or
+// subtracting a counter that lib marked monotonic is flagged here.
+package app
+
+import "snapmono2/lib"
+
+type view struct {
+	pool *lib.Pool
+}
+
+// trim subtracts from lib's monotonic counter: flagged via the
+// imported fact.
+func (v *view) trim(gone lib.Stats) {
+	v.pool.Mu.Lock()
+	v.pool.St.Fills -= gone.Fills // want `monotonic counter Stats\.Fills .* is decremented`
+	v.pool.Mu.Unlock()
+}
+
+// wipe zeroes it outright.
+func (v *view) wipe() {
+	v.pool.Mu.Lock()
+	v.pool.St.Fills = 0 // want `monotonic counter Stats\.Fills .* is reassigned to a constant`
+	v.pool.Mu.Unlock()
+}
+
+// observe only reads: fine.
+func (v *view) observe() uint64 {
+	return v.pool.Snapshot().Fills
+}

@@ -1,0 +1,28 @@
+// Dependency fixture for cross-package snapmono: Fills is marked as a
+// monotonic counter and the fact crosses the package boundary.
+package lib
+
+import "sync"
+
+type Stats struct {
+	Fills uint64 // want Fills:`monotonic-counter`
+}
+
+type Pool struct {
+	Mu sync.Mutex
+	St Stats
+}
+
+// Record accumulates into the aggregate: Fills becomes a counter.
+func (p *Pool) Record(n uint64) {
+	p.Mu.Lock()
+	p.St.Fills += n
+	p.Mu.Unlock()
+}
+
+// Snapshot hands out the aggregate.
+func (p *Pool) Snapshot() Stats {
+	p.Mu.Lock()
+	defer p.Mu.Unlock()
+	return p.St
+}

@@ -1,0 +1,11 @@
+// Dependent fixture for the multi-package suppression regression: the
+// interesting diagnostics live in dep, loaded as part of this
+// package's closure.
+package app
+
+import "suppressmulti/dep"
+
+// Run exercises dep so the import is real.
+func Run(b *dep.Box) {
+	b.Tick()
+}

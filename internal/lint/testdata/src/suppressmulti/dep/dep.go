@@ -1,0 +1,23 @@
+// Dependency fixture for the multi-package suppression regression: a
+// reasonless //lint:ignore in a dependency must still be rejected when
+// the dependency is analyzed as part of a dependent's closure. (No
+// // want comments here — the marker would parse as the suppression's
+// reason — so lint_test checks the diagnostics directly.)
+package dep
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// Tick sends on a channel while holding the lock; the ignore has no
+// reason, so it does not suppress and is itself flagged.
+func (b *Box) Tick() {
+	b.mu.Lock()
+	//lint:ignore periscopelint/lockio
+	b.ch <- b.n
+	b.mu.Unlock()
+}

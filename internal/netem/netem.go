@@ -346,6 +346,16 @@ type linkTransport struct {
 	base http.RoundTripper
 }
 
+// CloseIdleConnections forwards to the underlying transport, so
+// http.Client.CloseIdleConnections works through the shaping wrapper:
+// a decommissioned POP must not strand its keep-alive sockets (their
+// readLoop/writeLoop goroutines would outlive the owner).
+func (t *linkTransport) CloseIdleConnections() {
+	if c, ok := t.base.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}
+
 func (t *linkTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.l.init()
 	extra, err := t.l.admit()

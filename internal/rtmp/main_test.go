@@ -1,0 +1,14 @@
+package rtmp
+
+import (
+	"testing"
+
+	"periscope/internal/leakcheck"
+)
+
+// TestMain enforces the runtime half of the gostop contract: per-conn
+// serve goroutines live exactly as long as their connections, and the
+// accept loop dies with the listener.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

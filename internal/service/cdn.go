@@ -574,6 +574,17 @@ func (p *cdnPOP) close() {
 		p.srv.Close()
 	}
 	p.fill.Stop()
+	// Drop the fill paths' keep-alive sockets: a decommissioned POP must
+	// not strand origin/peer connections (and their transport
+	// goroutines) just because they were warm.
+	if p.originHTTP != nil {
+		p.originHTTP.CloseIdleConnections()
+	}
+	for _, pr := range p.peers {
+		if pr.client != nil {
+			pr.client.CloseIdleConnections()
+		}
+	}
 }
 
 // stats aggregates the POP's counters and its replicas' fill metrics.

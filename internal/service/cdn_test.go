@@ -288,9 +288,16 @@ func TestEndBroadcastServesFinalPlaylistDuringLinger(t *testing.T) {
 	// Let at least one segment land, and warm the edge playlist cache.
 	h := svc.hubFor(b.ID)
 	waitFor(t, func() bool { return h.Segmenter().SegmentCount() >= 1 }, "first segment")
-	if _, err := http.Get(acc.HLSBaseURL + "/playlist.m3u8"); err != nil {
+	warm, err := http.Get(acc.HLSBaseURL + "/playlist.m3u8")
+	if err != nil {
 		t.Fatal(err)
 	}
+	// Drain and close, or the keep-alive conn never goes idle and its
+	// transport goroutines outlive the test binary (leakcheck).
+	if _, err := io.Copy(io.Discard, warm.Body); err != nil {
+		t.Fatal(err)
+	}
+	warm.Body.Close()
 
 	svc.EndBroadcast(b.ID)
 
