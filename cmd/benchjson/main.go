@@ -133,6 +133,14 @@ func compare(base, cur Report, maxRegressPct float64) []string {
 
 func readReport(path string) (Report, error) {
 	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		// A gate pointed at a baseline that was never checked in fails
+		// with an actionable message, not a bare ENOENT: the fix is to
+		// regenerate the artefact and commit it, or repoint the gate.
+		return Report{}, fmt.Errorf(
+			"benchjson: baseline %s does not exist — generate it from a trusted run (benchjson -o %s bench.txt) and check it in, or point -baseline at a committed artefact",
+			path, path)
+	}
 	if err != nil {
 		return Report{}, err
 	}

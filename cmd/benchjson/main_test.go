@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -108,5 +109,30 @@ func TestCompareExtraCurrentBenchesIgnored(t *testing.T) {
 	})
 	if v := compare(base, cur, 20); len(v) != 0 {
 		t.Errorf("new benchmark flagged against empty baseline: %v", v)
+	}
+}
+
+func TestReadReportMissingBaseline(t *testing.T) {
+	_, err := readReport(t.TempDir() + "/BENCH_NEVER_COMMITTED.json")
+	if err == nil {
+		t.Fatal("readReport of a missing baseline did not error")
+	}
+	// The message must be actionable (how to regenerate), not a bare
+	// ENOENT: a misconfigured CI gate should say what to fix.
+	for _, want := range []string{"does not exist", "check it in", "BENCH_NEVER_COMMITTED.json"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing-baseline error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestReadReportMalformedBaseline(t *testing.T) {
+	path := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := readReport(path)
+	if err == nil || !strings.Contains(err.Error(), path) {
+		t.Errorf("malformed baseline error %v does not name the file", err)
 	}
 }

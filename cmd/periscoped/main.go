@@ -18,7 +18,29 @@ import (
 
 	"periscope"
 	"periscope/internal/analysis"
+	"periscope/internal/scenario"
 )
+
+// runScenario boots a fresh service, drives the named timeline through
+// the scenario runner, prints the report, and exits non-zero if any SLO
+// was breached (or the timeline could not run at all).
+func runScenario(name string) {
+	sc, err := scenario.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("running scenario %s — %s\n\n", sc.Name, sc.Description)
+	res, err := scenario.Execute(sc)
+	if err != nil {
+		log.Fatalf("scenario did not complete: %v", err)
+	}
+	fmt.Println(res.Report)
+	if len(res.Breaches) > 0 {
+		fmt.Printf("FAIL: %d SLO breach(es)\n", len(res.Breaches))
+		os.Exit(1)
+	}
+	fmt.Println("PASS: all asserted SLOs within limits")
+}
 
 func main() {
 	concurrent := flag.Int("broadcasts", 300, "steady-state number of live broadcasts")
@@ -30,7 +52,13 @@ func main() {
 	outageRegion := flag.String("outage-region", "", "run a scheduled outage drill: blackhole every POP in this region (e.g. us-west)")
 	outageAfter := flag.Duration("outage-after", 30*time.Second, "delay before the scheduled outage begins")
 	outageFor := flag.Duration("outage-for", 30*time.Second, "outage duration before the region is restored and re-warmed")
+	scenarioName := flag.String("scenario", "", "run a scripted scenario timeline instead of serving (one of: "+strings.Join(scenario.Names(), ", ")+")")
 	flag.Parse()
+
+	if *scenarioName != "" {
+		runScenario(*scenarioName)
+		return
+	}
 
 	cfg := periscope.DefaultTestbedConfig()
 	cfg.PopConfig.TargetConcurrent = *concurrent

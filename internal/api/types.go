@@ -118,6 +118,9 @@ type AccessVideoResponse struct {
 	StreamName string `json:"stream_name,omitempty"`
 	HLSBaseURL string `json:"hls_base_url,omitempty"`
 	ChatURL    string `json:"chat_url,omitempty"`
+	// Replay marks a VOD replay of an ended broadcast (§5): the playlist
+	// is ENDLIST from the start and live-only UI (chat, hearts) is off.
+	Replay bool `json:"replay,omitempty"`
 	// NumWatching lets the client log popularity at access time.
 	NumWatching int `json:"n_watching"`
 }

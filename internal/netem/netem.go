@@ -175,6 +175,52 @@ func (s *Shaper) HTTPClient() *http.Client {
 // Mbps converts megabits/second to bits/second for Shaper fields.
 func Mbps(v float64) float64 { return v * 1e6 }
 
+// AccessProfile bundles the bandwidth / RTT / loss figures for one class
+// of mobile access network, matching the measurement conditions the paper
+// swept in §5 (WiFi vs. cellular, tc-shaped bandwidth tiers). A profile
+// is a template: NewLink stamps out an independently-seeded Link per
+// viewer so cohorts on the same profile don't share a token bucket.
+type AccessProfile struct {
+	// Name identifies the profile in scenario reports ("3g", "wifi", ...).
+	Name string
+	// Bandwidth caps the downlink in bits per second (0 = uncapped).
+	Bandwidth float64
+	// RTT is the per-request round-trip time to the edge.
+	RTT time.Duration
+	// LossProb is the per-request loss probability (retried client-side).
+	LossProb float64
+}
+
+// Canonical access profiles. The 3G figures model the congested cell the
+// paper's worst stall ratios came from: per-request RTTs long enough that
+// sequential playlist-poll + segment-fetch cycles fall behind real time,
+// plus sub-bitrate bandwidth. 4G and WiFi step the same knobs toward the
+// paper's low-stall conditions, so the expected stall-ratio ordering is
+// 3G >= 4G >= WiFi.
+var (
+	Profile3G   = AccessProfile{Name: "3g", Bandwidth: Mbps(0.2), RTT: 250 * time.Millisecond, LossProb: 0.02}
+	Profile4G   = AccessProfile{Name: "4g", Bandwidth: Mbps(4), RTT: 60 * time.Millisecond, LossProb: 0.005}
+	ProfileWiFi = AccessProfile{Name: "wifi", Bandwidth: Mbps(20), RTT: 15 * time.Millisecond, LossProb: 0}
+)
+
+// Profiles maps profile names to presets for flag / scenario lookup.
+var Profiles = map[string]AccessProfile{
+	Profile3G.Name:   Profile3G,
+	Profile4G.Name:   Profile4G,
+	ProfileWiFi.Name: ProfileWiFi,
+}
+
+// NewLink stamps out a fresh Link shaped like the profile. seed fixes the
+// loss RNG so one viewer's drop sequence replays exactly; distinct
+// viewers should pass distinct seeds.
+func (p AccessProfile) NewLink(seed int64) *Link {
+	l := &Link{RTT: p.RTT, Bandwidth: p.Bandwidth}
+	if p.LossProb > 0 {
+		l.SetFault(FaultProfile{LossProb: p.LossProb, Seed: seed})
+	}
+	return l
+}
+
 // Link models one fixed wide-area path between two datacenters (POP →
 // origin, POP → peer POP): a round-trip latency charged once per HTTP
 // request plus an optional bandwidth cap paced over the response body,

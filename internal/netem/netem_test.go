@@ -303,6 +303,168 @@ func TestLinkLatencySpike(t *testing.T) {
 	}
 }
 
+func TestLinkBlackholeZeroDuration(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	l := &Link{}
+	// A zero-duration window sets blackholeUntil to now: by the time any
+	// request evaluates admit(), the window has already closed. The link
+	// must not drop anything and must not report Blackholed.
+	l.BlackholeFor(0)
+	if l.Blackholed() {
+		t.Fatal("zero-duration window left the link blackholed")
+	}
+	resp, err := l.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after zero-duration window: %v", err)
+	}
+	resp.Body.Close()
+	if l.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", l.Dropped())
+	}
+
+	// Same for a negative duration (a window that closed in the past).
+	l.BlackholeFor(-time.Hour)
+	if l.Blackholed() {
+		t.Fatal("negative-duration window left the link blackholed")
+	}
+}
+
+func TestLinkBlackholeOverlappingWindows(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	// Windows are absolute deadlines, not accumulating timers: the latest
+	// call wins outright. A long window followed by a short one shrinks
+	// the outage.
+	l := &Link{}
+	l.BlackholeFor(time.Hour)
+	l.BlackholeFor(30 * time.Millisecond)
+	if !l.Blackholed() {
+		t.Fatal("link should be blackholed inside the second window")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Blackholed() {
+		if time.Now().After(deadline) {
+			t.Fatal("short overlapping window never expired; the hour window survived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := l.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after shortened window: %v", err)
+	}
+	resp.Body.Close()
+
+	// And a short window followed by a long one extends it.
+	l2 := &Link{}
+	l2.BlackholeFor(time.Millisecond)
+	l2.BlackholeFor(time.Hour)
+	time.Sleep(10 * time.Millisecond)
+	if !l2.Blackholed() {
+		t.Fatal("extending window was clipped by the earlier short window")
+	}
+	if _, err := l2.Client().Get(srv.URL); !errors.Is(err, ErrBlackhole) {
+		t.Fatalf("err = %v, want ErrBlackhole inside extended window", err)
+	}
+}
+
+func TestLinkLossProbabilityBoundaries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	// LossProb 0 must never drop: the admit path guards on > 0 before
+	// consuming randomness, so an explicit zero profile behaves exactly
+	// like no profile at all.
+	l0 := &Link{}
+	l0.SetFault(FaultProfile{LossProb: 0, Seed: 42})
+	cli := l0.Client()
+	for i := 0; i < 50; i++ {
+		resp, err := cli.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d dropped at LossProb=0: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if l0.Dropped() != 0 {
+		t.Errorf("Dropped = %d at LossProb=0, want 0", l0.Dropped())
+	}
+
+	// LossProb 1 must always drop: Float64 is in [0, 1), strictly below 1.
+	l1 := &Link{}
+	l1.SetFault(FaultProfile{LossProb: 1, Seed: 42})
+	cli = l1.Client()
+	for i := 0; i < 50; i++ {
+		if _, err := cli.Get(srv.URL); !errors.Is(err, ErrInjectedLoss) {
+			t.Fatalf("request %d survived LossProb=1: err = %v", i, err)
+		}
+	}
+	if got := l1.Dropped(); got != 50 {
+		t.Errorf("Dropped = %d at LossProb=1, want 50", got)
+	}
+	if got := l1.Requests(); got != 0 {
+		t.Errorf("Requests = %d; dropped requests must not count as traversals", got)
+	}
+}
+
+func TestAccessProfilePresets(t *testing.T) {
+	for _, name := range []string{"3g", "4g", "wifi"} {
+		p, ok := Profiles[name]
+		if !ok {
+			t.Fatalf("preset %q missing from Profiles", name)
+		}
+		if p.Name != name {
+			t.Errorf("preset %q has Name %q", name, p.Name)
+		}
+	}
+	// The stall-ratio ordering the scenario asserts needs monotone knobs.
+	if !(Profile3G.RTT > Profile4G.RTT && Profile4G.RTT > ProfileWiFi.RTT) {
+		t.Error("RTT not strictly decreasing 3G > 4G > WiFi")
+	}
+	if !(Profile3G.Bandwidth < Profile4G.Bandwidth && Profile4G.Bandwidth < ProfileWiFi.Bandwidth) {
+		t.Error("bandwidth not strictly increasing 3G < 4G < WiFi")
+	}
+	if !(Profile3G.LossProb >= Profile4G.LossProb && Profile4G.LossProb >= ProfileWiFi.LossProb) {
+		t.Error("loss not monotone 3G >= 4G >= WiFi")
+	}
+
+	l := Profile3G.NewLink(7)
+	if l.RTT != Profile3G.RTT || l.Bandwidth != Profile3G.Bandwidth {
+		t.Errorf("NewLink produced RTT %v bandwidth %v", l.RTT, l.Bandwidth)
+	}
+	// Loss must be armed and deterministic per seed.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	run := func(seed int64) []bool {
+		lk := AccessProfile{Name: "lossy", LossProb: 0.5}.NewLink(seed)
+		cli := lk.Client()
+		var out []bool
+		for i := 0; i < 30; i++ {
+			resp, err := cli.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed profile links diverged at request %d", i)
+		}
+	}
+}
+
 func TestRateMeter(t *testing.T) {
 	m := NewRateMeter(time.Second)
 	base := time.Unix(100, 0)

@@ -1,0 +1,22 @@
+package scenario
+
+import (
+	"net/http"
+	"testing"
+
+	"periscope/internal/api"
+	"periscope/internal/leakcheck"
+)
+
+// TestMain makes the mass-churn "no leaked goroutines" guarantee real:
+// after every scenario has torn its service down, any non-allowlisted
+// goroutine still alive fails the binary. The cleanup drops idle
+// keep-alive sockets first — the api package's shared transport and
+// http.DefaultClient (chat members' heart taps) hold warm connections by
+// design, and their readLoop/writeLoop goroutines are not leaks.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m, leakcheck.Cleanup(func() {
+		api.CloseIdleConnections()
+		http.DefaultClient.CloseIdleConnections()
+	}))
+}

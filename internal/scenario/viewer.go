@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"periscope/internal/hls"
+	"periscope/internal/netem"
+	"periscope/internal/player"
+	"periscope/internal/service"
+)
+
+// viewerSession is one HLS viewer's life: resolve an edge via the real
+// AccessVideo policy, poll the playlist, fetch new segments, re-resolve
+// when the edge stops answering (which is where health-driven steering
+// hands out a live POP), and stop at the session deadline or when the
+// playlist goes ENDLIST. Fetched segments are recorded as player chunks;
+// QoE is replayed through player.Engine afterwards.
+type viewerSession struct {
+	cohort string
+	dur    time.Duration
+
+	// Written only by the session goroutine; read after wg.Wait.
+	chunks      []player.Chunk
+	reresolves  int
+	lastArrival time.Duration
+	ended       bool
+}
+
+func (vs *viewerSession) run(svc *service.Service, id string, profile *netem.AccessProfile, seed int64) {
+	// Each viewer gets its own transport so its keep-alive sockets die
+	// with the session (leakcheck would flag a shared pool's strays).
+	var httpc *http.Client
+	var closeIdle func()
+	if profile != nil {
+		link := profile.NewLink(seed)
+		tr := link.Transport(nil)
+		httpc = &http.Client{Transport: tr, Timeout: 4 * time.Second}
+		closeIdle = func() {
+			if c, ok := tr.(interface{ CloseIdleConnections() }); ok {
+				c.CloseIdleConnections()
+			}
+		}
+	} else {
+		tr := &http.Transport{MaxIdleConnsPerHost: 4}
+		httpc = &http.Client{Transport: tr, Timeout: 2 * time.Second}
+		closeIdle = tr.CloseIdleConnections
+	}
+	defer closeIdle()
+
+	start := time.Now()
+	stop := start.Add(vs.dur)
+	var base string
+	var media time.Duration
+	next := -1
+	get := func(path string) ([]byte, bool) {
+		resp, err := httpc.Get(base + "/" + path)
+		if err != nil {
+			return nil, false
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return nil, false
+		}
+		return body, true
+	}
+	for time.Now().Before(stop) {
+		if base == "" {
+			acc, err := svc.AccessVideo(id)
+			if err != nil || acc.HLSBaseURL == "" {
+				if err != nil && vs.ended {
+					// Broadcast gone and we saw its ENDLIST: done.
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			if acc.Replay {
+				// The broadcast ended and access now resolves to its VOD
+				// replay; a live session stops rather than silently
+				// switching streams.
+				vs.ended = true
+				return
+			}
+			base = acc.HLSBaseURL
+		}
+		body, ok := get("playlist.m3u8")
+		if !ok {
+			// Edge dark (or an access-link drop): fail over through a
+			// fresh AccessVideo.
+			base = ""
+			vs.reresolves++
+			continue
+		}
+		pl, err := hls.ParseMediaPlaylist(body)
+		if err != nil {
+			continue
+		}
+		for _, s := range pl.Segments {
+			if s.Sequence < next {
+				continue
+			}
+			if _, ok := get(s.URI); !ok {
+				base = ""
+				vs.reresolves++
+				break
+			}
+			dur := time.Duration(s.Duration * float64(time.Second))
+			arr := time.Since(start)
+			vs.chunks = append(vs.chunks, player.Chunk{
+				Arrival:    arr,
+				MediaStart: media,
+				MediaEnd:   media + dur,
+				CaptureEnd: arr,
+			})
+			vs.lastArrival = arr
+			media += dur
+			next = s.Sequence + 1
+		}
+		if pl.Ended && base != "" {
+			// Final playlist fully drained: the broadcast ended mid-session.
+			vs.ended = true
+			return
+		}
+		time.Sleep(120 * time.Millisecond)
+	}
+}
+
+// metrics replays the session through the playback-buffer model.
+func (vs *viewerSession) metrics(segment time.Duration) player.Metrics {
+	dur := vs.dur
+	if vs.ended && vs.lastArrival > 0 && vs.lastArrival < dur {
+		// The broadcast ended before the session deadline: judge QoE over
+		// the time media was actually available, not the idle tail.
+		dur = vs.lastArrival
+	}
+	return player.DefaultHLSEngine(segment).Run(vs.chunks, dur)
+}

@@ -123,6 +123,21 @@ func (o *originTier) count() int {
 	return len(o.origins)
 }
 
+// counts splits the registered mounts into live broadcasts and replay
+// (VOD) mounts; the latter outlive their broadcast by design.
+func (o *originTier) counts() (live, replays int) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for id := range o.origins {
+		if strings.HasSuffix(id, replaySuffix) {
+			replays++
+		} else {
+			live++
+		}
+	}
+	return live, replays
+}
+
 // ServeHTTP routes /hls/<broadcastID>/<file> to the broadcast's origin.
 func (o *originTier) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	o.Requests.Add(1)
@@ -584,6 +599,21 @@ func (p *cdnPOP) close() {
 		if pr.client != nil {
 			pr.client.CloseIdleConnections()
 		}
+	}
+}
+
+// SetPOPOriginFault installs (or, with a zero profile, clears) a
+// probabilistic fault profile on POP i's origin fill link: injected loss
+// and latency spikes degrade the fill path without taking the POP dark.
+// This is the partial-degradation knob scenario timelines turn — and the
+// lever the deliberately-broken SLO fixture uses to prove the harness
+// fails on breach.
+func (s *Service) SetPOPOriginFault(i int, p netem.FaultProfile) {
+	if i < 0 || i >= len(s.cdn) {
+		return
+	}
+	if l := s.cdn[i].originLink; l != nil {
+		l.SetFault(p)
 	}
 }
 

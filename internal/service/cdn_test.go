@@ -364,10 +364,12 @@ func TestPOPShutdownDrainsInflight(t *testing.T) {
 		pop.close()
 		close(closed)
 	}()
-	// Keep reading slowly (but well within the drain deadline): a paced
-	// trickle for a while, then drain the rest.
+	// Keep reading slowly, then drain the rest. The trickle stays short:
+	// the drain deadline (cdnDrainTimeout) must comfortably cover both it
+	// and the tens-of-MB remainder even on a loaded -race runner, or the
+	// graceful Shutdown legitimately cuts the body we're asserting on.
 	total := len(buf)
-	for i := 0; i < 20; i++ {
+	for i := 0; i < 6; i++ {
 		time.Sleep(10 * time.Millisecond)
 		n, err := resp.Body.Read(buf)
 		total += n

@@ -1,20 +1,17 @@
 package service
 
 import (
-	"io"
-	"net/http"
 	"sync"
 	"testing"
 	"time"
-
-	"periscope/internal/hls"
-	"periscope/internal/player"
 )
 
 // startOutageService builds a full service with two POP clusters (two
 // POPs in us-west, two in eu-west) and resilience knobs tightened so a
 // scenario fits in test time: short segments, two fill attempts, a
-// two-failure breaker with a sub-second cooldown.
+// two-failure breaker with a sub-second cooldown. The full failover QoE
+// arc lives in internal/scenario (the regional-outage timeline); what
+// stays here is the lifecycle race below.
 func startOutageService(t *testing.T) *Service {
 	t.Helper()
 	cfg := DefaultConfig()
@@ -31,237 +28,6 @@ func startOutageService(t *testing.T) *Service {
 	}
 	t.Cleanup(svc.Close)
 	return svc
-}
-
-// outageViewer is one HLS viewer loop: it resolves an edge via
-// AccessVideo, polls the playlist, fetches new segments, and — when the
-// edge stops answering — re-resolves, which is where health-driven
-// steering hands it a live POP. Fetched segments are recorded as player
-// chunks so QoE (longest stall) can be replayed afterwards.
-type outageViewer struct {
-	chunks    []player.Chunk
-	reresolve int // how often the viewer had to re-resolve its edge
-}
-
-func (ov *outageViewer) run(svc *Service, id string, start, stop time.Time) {
-	httpc := &http.Client{Timeout: 2 * time.Second}
-	var base string
-	var media time.Duration
-	next := -1
-	get := func(path string) ([]byte, bool) {
-		resp, err := httpc.Get(base + "/" + path)
-		if err != nil {
-			return nil, false
-		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
-		if err != nil || resp.StatusCode != http.StatusOK {
-			return nil, false
-		}
-		return body, true
-	}
-	for time.Now().Before(stop) {
-		if base == "" {
-			acc, err := svc.AccessVideo(id)
-			if err != nil || acc.HLSBaseURL == "" {
-				time.Sleep(100 * time.Millisecond)
-				continue
-			}
-			base = acc.HLSBaseURL
-		}
-		body, ok := get("playlist.m3u8")
-		if !ok {
-			// Edge dark: fail over through a fresh AccessVideo.
-			base = ""
-			ov.reresolve++
-			continue
-		}
-		pl, err := hls.ParseMediaPlaylist(body)
-		if err != nil {
-			continue
-		}
-		for _, s := range pl.Segments {
-			if s.Sequence < next {
-				continue
-			}
-			if _, ok := get(s.URI); !ok {
-				base = ""
-				ov.reresolve++
-				break
-			}
-			dur := time.Duration(s.Duration * float64(time.Second))
-			arr := time.Since(start)
-			ov.chunks = append(ov.chunks, player.Chunk{
-				Arrival:    arr,
-				MediaStart: media,
-				MediaEnd:   media + dur,
-				CaptureEnd: arr,
-			})
-			media += dur
-			next = s.Sequence + 1
-		}
-		time.Sleep(120 * time.Millisecond)
-	}
-}
-
-// TestRegionalOutageFailoverAndRecovery is the resilience-plane scenario:
-// viewers watch a popular broadcast from their hash-preferred POP, the
-// whole preferred region blackholes, steering re-routes everyone to the
-// surviving cluster with a bounded stall, the region recovers and
-// re-warms, and all counters stay cumulative across the whole arc —
-// while origin egress stays O(clusters) per segment, not O(viewers).
-func TestRegionalOutageFailoverAndRecovery(t *testing.T) {
-	svc := startOutageService(t)
-	b := pickBroadcast(t, svc, true)
-	if _, err := svc.AccessVideo(b.ID); err != nil {
-		t.Fatal(err)
-	}
-	h := svc.hubFor(b.ID)
-	waitFor(t, func() bool { return h.Segmenter().SegmentCount() >= 1 }, "first segment")
-
-	preferred := svc.cdn[int(fnv32(b.ID))%len(svc.cdn)]
-	outRegion := preferred.region.Name
-
-	const viewers = 8
-	const sessionDur = 9 * time.Second
-	start := time.Now()
-	stop := start.Add(sessionDur)
-	results := make([]outageViewer, viewers)
-	var wg sync.WaitGroup
-	for v := 0; v < viewers; v++ {
-		wg.Add(1)
-		go func(ov *outageViewer) {
-			defer wg.Done()
-			ov.run(svc, b.ID, start, stop)
-		}(&results[v])
-	}
-
-	// Steady state, then the preferred region goes dark mid-stream.
-	time.Sleep(2 * time.Second)
-	snapBefore := svc.Snapshot()
-	if downed := svc.RegionOutage(outRegion); downed != 2 {
-		t.Fatalf("RegionOutage(%s) downed %d POPs, want 2", outRegion, downed)
-	}
-	for i, st := range svc.POPHealthStates() {
-		if svc.cdn[i].region.Name == outRegion && st != "down" {
-			t.Errorf("POP %d in %s reports %q during outage, want down", i, outRegion, st)
-		}
-	}
-
-	// Hold the outage across a few segment periods, snapshot mid-outage,
-	// then lift it.
-	time.Sleep(2500 * time.Millisecond)
-	snapMid := svc.Snapshot()
-	if restored := svc.RestoreRegion(outRegion); restored != 2 {
-		t.Fatalf("RestoreRegion(%s) restored %d POPs, want 2", outRegion, restored)
-	}
-	waitFor(t, func() bool {
-		for _, st := range svc.POPHealthStates() {
-			if st != "ok" {
-				return false
-			}
-		}
-		return true
-	}, "all POPs healthy after restore")
-	// Recovery re-warms the dead cluster through the normal fill path, so
-	// the recovered edges come back holding segments before any viewer
-	// returns to them.
-	for i, pop := range svc.cdn {
-		if pop.region.Name != outRegion {
-			continue
-		}
-		pop := pop
-		waitFor(t, func() bool {
-			rep := pop.replica(b.ID)
-			return rep != nil && rep.Stats().CachedSegments >= 1
-		}, "recovered POP "+svc.cdn[i].region.Name+" re-warmed")
-	}
-	wg.Wait()
-	snapEnd := svc.Snapshot()
-
-	// Every viewer kept playing through outage and recovery: the failover
-	// is allowed to cost one stall, but it must stay bounded, and progress
-	// must continue well past the restore point.
-	engine := player.DefaultHLSEngine(svc.cfg.SegmentTarget)
-	for v := range results {
-		res := &results[v]
-		if len(res.chunks) < 5 {
-			t.Fatalf("viewer %d fetched only %d segments", v, len(res.chunks))
-		}
-		m := engine.Run(res.chunks, sessionDur)
-		if m.LongestStall > 4*time.Second {
-			t.Errorf("viewer %d longest stall %v exceeds the failover bound", v, m.LongestStall)
-		}
-		if last := res.chunks[len(res.chunks)-1].Arrival; last < 6*time.Second {
-			t.Errorf("viewer %d stopped making progress at %v", v, last)
-		}
-	}
-
-	// The failover was real and counted: viewers had to re-resolve, and
-	// steering charged the re-routes to the hash-preferred POP.
-	var reresolves int
-	for v := range results {
-		reresolves += results[v].reresolve
-	}
-	if reresolves == 0 {
-		t.Error("no viewer ever re-resolved its edge — the outage was invisible")
-	}
-	if preferred.reroutes.Load() == 0 {
-		t.Error("no failover re-routes counted on the preferred POP")
-	}
-
-	// Origin egress stayed O(clusters) per segment: the surviving cluster
-	// filled each segment about once, plus the recovery re-warm window —
-	// far below the O(viewers) blowup a broken edge would produce.
-	totalSegs := h.Segmenter().SegmentCount()
-	originSegs := svc.origin.SegmentRequests.Load()
-	if limit := int64(2*totalSegs + 24); originSegs > limit {
-		t.Errorf("origin saw %d segment fills for %d segments (limit %d) — not O(clusters)",
-			originSegs, totalSegs, limit)
-	}
-	if blowup := int64(viewers * totalSegs); originSegs*2 > blowup {
-		t.Errorf("origin fills %d are within 2x of the per-viewer blowup %d", originSegs, blowup)
-	}
-
-	// Counters are cumulative across outage and recovery: no snapshot
-	// metric ever dips.
-	monotonic := func(stage string, a, z Snapshot) {
-		for i := range a.POPs {
-			p, q := a.POPs[i], z.POPs[i]
-			if q.Requests < p.Requests || q.Fills < p.Fills ||
-				q.PeerFills < p.PeerFills || q.OriginFills < p.OriginFills ||
-				q.Reroutes < p.Reroutes || q.FillRetries < p.FillRetries ||
-				q.BreakerTrips < p.BreakerTrips || q.Warmups < p.Warmups {
-				t.Errorf("POP %d counters dipped across %s:\nbefore %+v\nafter  %+v", i, stage, p, q)
-			}
-		}
-	}
-	monotonic("the outage", snapBefore, snapMid)
-	monotonic("the recovery", snapMid, snapEnd)
-
-	// Mid-outage snapshot surfaced the dead POPs and the shifted serving.
-	downSeen := 0
-	for i, ps := range snapMid.POPs {
-		if svc.cdn[i].region.Name == outRegion {
-			if ps.Health != "down" {
-				t.Errorf("mid-outage snapshot: POP %d health %q, want down", i, ps.Health)
-			}
-			downSeen++
-		}
-	}
-	if downSeen != 2 {
-		t.Errorf("mid-outage snapshot covered %d dead POPs, want 2", downSeen)
-	}
-	// The recovered cluster's re-warm shows up as warm-ups after restore.
-	for i := range snapEnd.POPs {
-		if svc.cdn[i].region.Name != outRegion {
-			continue
-		}
-		if snapEnd.POPs[i].Warmups <= snapMid.POPs[i].Warmups {
-			t.Errorf("POP %d warmups did not grow across recovery (%d -> %d)",
-				i, snapMid.POPs[i].Warmups, snapEnd.POPs[i].Warmups)
-		}
-	}
 }
 
 // TestEndBroadcastDuringPOPOutageRace drives EndBroadcast concurrently

@@ -15,6 +15,10 @@ import (
 // replayMaxDur caps how much of an ended broadcast is materialised as VOD.
 const replayMaxDur = 90 * time.Second
 
+// replaySuffix marks replay (VOD) mounts on the origin and POPs so they
+// can be told apart from live broadcasts in snapshots.
+const replaySuffix = "-replay"
+
 // replays caches built VOD segmenters keyed by broadcast ID.
 var replayMu sync.Mutex
 
@@ -25,7 +29,7 @@ var replayMu sync.Mutex
 func (s *Service) replayAccess(b *broadcastmodel.Broadcast) (api.AccessVideoResponse, error) {
 	replayMu.Lock()
 	defer replayMu.Unlock()
-	key := b.ID + "-replay"
+	key := b.ID + replaySuffix
 	pop := s.cdn[int(fnv32(b.ID))%len(s.cdn)]
 	if !pop.has(key) {
 		seg := buildReplay(b, s.cfg.SegmentTarget)
@@ -38,6 +42,7 @@ func (s *Service) replayAccess(b *broadcastmodel.Broadcast) (api.AccessVideoResp
 		Protocol:   "HLS",
 		HLSBaseURL: pop.baseURL() + "/hls/" + key,
 		StreamName: b.ID,
+		Replay:     true,
 	}, nil
 }
 

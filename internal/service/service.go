@@ -571,6 +571,35 @@ func (s *Service) selectPOP(id string) *cdnPOP {
 	return target
 }
 
+// PreferredPOPIndex reports which POP the steering hash prefers for a
+// broadcast — the edge its viewers land on while it is healthy,
+// index-aligned with Snapshot().POPs. Scenario timelines use it to aim
+// outages at (or away from) a broadcast's serving region.
+func (s *Service) PreferredPOPIndex(id string) int {
+	return int(fnv32(id)) % len(s.cdn)
+}
+
+// PreferredPOPRegion reports the geo region of the hash-preferred POP.
+func (s *Service) PreferredPOPRegion(id string) string {
+	return s.cdn[s.PreferredPOPIndex(id)].region.Name
+}
+
+// BroadcastSegments reports how many HLS segments the broadcast's
+// segmenter has produced so far (0 when the broadcast has no live hub or
+// HLS was never enabled). Scenario SLOs use it to bound origin egress per
+// segment.
+func (s *Service) BroadcastSegments(id string) int {
+	h := s.hubFor(id)
+	if h == nil {
+		return 0
+	}
+	seg := h.Segmenter()
+	if seg == nil {
+		return 0
+	}
+	return seg.SegmentCount()
+}
+
 // BlackholePOP injects a hard POP outage: POP i refuses every viewer and
 // peer request with 503 until RestorePOP. Peers' breakers trip and skip
 // it; steering routes its viewers to the next-nearest healthy POP.

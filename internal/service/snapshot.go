@@ -43,8 +43,11 @@ type OriginSnapshot struct {
 	// Region is where the origin tier is placed; POP→origin RTTs derive
 	// from it.
 	Region string
-	// Broadcasts is the number of registered origins.
+	// Broadcasts is the number of registered live origins. Replays counts
+	// replay (VOD) mounts, which persist by design after their broadcast
+	// ends and are therefore tracked apart from the live set.
 	Broadcasts int
+	Replays    int
 	// Requests/Bytes count everything served to the POPs; the split
 	// distinguishes playlist revalidations from segment fills.
 	Requests, Bytes                   int64
@@ -151,9 +154,11 @@ func (s *Service) Snapshot() Snapshot {
 	s.mu.RUnlock()
 
 	if s.origin != nil {
+		live, replays := s.origin.counts()
 		snap.Origin = OriginSnapshot{
 			Region:           s.originRegion.Name,
-			Broadcasts:       s.origin.count(),
+			Broadcasts:       live,
+			Replays:          replays,
 			Requests:         s.origin.Requests.Load(),
 			Bytes:            s.origin.Bytes.Load(),
 			PlaylistRequests: s.origin.PlaylistRequests.Load(),
